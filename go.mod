@@ -1,0 +1,3 @@
+module labstor
+
+go 1.22

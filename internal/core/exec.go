@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"labstor/internal/vtime"
+)
+
+// Exec walks requests through LabStack DAGs. One Exec exists per executing
+// context — a Runtime worker (async mode) or a client thread (sync mode).
+//
+// The walk is a middleware chain: Exec delivers the request to the current
+// vertex's module, which charges its stage cost, transforms or spawns
+// requests, and calls Next/NextTo to forward downstream. The module
+// instance is looked up in the Module Registry *per hop*, so Registry.Swap
+// (hot plug / live upgrade) takes effect for every subsequent request —
+// exactly the paper's per-request registry query.
+type Exec struct {
+	Registry  *Registry
+	Namespace *Namespace
+	Model     *vtime.CostModel
+	// WorkerID identifies the executing worker (-1 for client-side sync
+	// execution).
+	WorkerID int
+}
+
+// NewExec returns an Exec over the given registry and namespace.
+func NewExec(reg *Registry, ns *Namespace, model *vtime.CostModel, workerID int) *Exec {
+	if model == nil {
+		model = vtime.Default()
+	}
+	return &Exec{Registry: reg, Namespace: ns, Model: model, WorkerID: workerID}
+}
+
+// Submit delivers req to the entry vertex of stack and runs it to
+// completion of the DAG walk. The caller is responsible for queue-pair
+// transport and completion signaling.
+func (e *Exec) Submit(stack *Stack, req *Request) error {
+	entry := stack.Entry()
+	if entry == "" {
+		return fmt.Errorf("core: stack %q is empty", stack.Mount)
+	}
+	req.StackID = stack.ID
+	req.stack = stack
+	return e.Deliver(entry, req)
+}
+
+// Deliver routes req to the named vertex's module instance.
+func (e *Exec) Deliver(uuid string, req *Request) error {
+	if req.stack == nil {
+		return fmt.Errorf("core: request %d has no stack context", req.ID)
+	}
+	m, err := e.Registry.Get(uuid)
+	if err != nil {
+		return err
+	}
+	req.Charge("registry", e.Model.ModLookup)
+	prev := req.vertex
+	req.vertex = uuid
+	err = m.Process(e, req)
+	req.vertex = prev
+	if err != nil && req.Err == nil {
+		req.Err = err
+	}
+	return err
+}
+
+// Next forwards req to the current vertex's first output. Modules call this
+// after transforming the request in place. A vertex with no outputs
+// completes the chain (Next is then an error — terminal modules such as
+// drivers must not call it).
+func (e *Exec) Next(req *Request) error {
+	outs := req.stack.Outputs(req.vertex)
+	if len(outs) == 0 {
+		return fmt.Errorf("core: vertex %q has no outputs (stack %q)", req.vertex, req.stack.Mount)
+	}
+	return e.forward(outs[0], req)
+}
+
+// NextTo forwards req to a specific downstream vertex UUID (for fan-out
+// vertices with multiple outputs).
+func (e *Exec) NextTo(req *Request, uuid string) error {
+	for _, o := range req.stack.Outputs(req.vertex) {
+		if o == uuid {
+			return e.forward(uuid, req)
+		}
+	}
+	return fmt.Errorf("core: %q is not an output of %q", uuid, req.vertex)
+}
+
+// HasNext reports whether the current vertex has downstream outputs.
+func (e *Exec) HasNext(req *Request) bool {
+	return req.stack != nil && len(req.stack.Outputs(req.vertex)) > 0
+}
+
+func (e *Exec) forward(out string, req *Request) error {
+	if strings.HasPrefix(out, "stack:") {
+		mount := strings.TrimPrefix(out, "stack:")
+		if e.Namespace == nil {
+			return fmt.Errorf("core: stack reference %q without namespace", out)
+		}
+		next, ok := e.Namespace.Lookup(mount)
+		if !ok {
+			return fmt.Errorf("core: stack reference %q not mounted", out)
+		}
+		save := req.stack
+		saveID := req.StackID
+		err := e.Submit(next, req)
+		req.stack, req.StackID = save, saveID
+		return err
+	}
+	return e.Deliver(out, req)
+}
+
+// SpawnNext runs a child request through the remainder of the DAG
+// (downstream of the parent's current vertex) and absorbs its clock and
+// trace back into the parent. This is the "filesystem op spawns block I/O
+// requests" pattern.
+func (e *Exec) SpawnNext(parent, child *Request) error {
+	child.stack = parent.stack
+	child.vertex = parent.vertex
+	child.Clock = parent.Clock
+	err := e.Next(child)
+	parent.Absorb(child)
+	return err
+}
+
+// CurrentVertex returns the UUID of the vertex processing req (for tests
+// and diagnostics).
+func (e *Exec) CurrentVertex(req *Request) string { return req.vertex }
+
+// Stack returns the stack req is currently walking.
+func (e *Exec) Stack(req *Request) *Stack { return req.stack }

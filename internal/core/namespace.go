@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Namespace is the LabStack Namespace: a concurrent map from mount point to
+// mounted stack with longest-prefix path resolution (as GenericFS uses when
+// routing "fs::/b/hi.txt" to the stack mounted at "fs::/b").
+type Namespace struct {
+	mu     sync.RWMutex
+	byPath map[string]*Stack
+	byID   map[int]*Stack
+	nextID int
+}
+
+// NewNamespace returns an empty namespace.
+func NewNamespace() *Namespace {
+	return &Namespace{
+		byPath: make(map[string]*Stack),
+		byID:   make(map[int]*Stack),
+		nextID: 1,
+	}
+}
+
+// Mount inducts a validated stack into the namespace, assigning its ID.
+func (n *Namespace) Mount(s *Stack) error {
+	mount := CleanMount(s.Mount)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.byPath[mount]; ok {
+		return fmt.Errorf("core: mount point %q already in use", mount)
+	}
+	s.Mount = mount
+	s.ID = n.nextID
+	n.nextID++
+	n.byPath[mount] = s
+	n.byID[s.ID] = s
+	return nil
+}
+
+// Unmount removes the stack at the given mount point.
+func (n *Namespace) Unmount(mount string) error {
+	mount = CleanMount(mount)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.byPath[mount]
+	if !ok {
+		return fmt.Errorf("core: nothing mounted at %q", mount)
+	}
+	delete(n.byPath, mount)
+	delete(n.byID, s.ID)
+	return nil
+}
+
+// Lookup returns the stack mounted exactly at mount.
+func (n *Namespace) Lookup(mount string) (*Stack, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s, ok := n.byPath[CleanMount(mount)]
+	return s, ok
+}
+
+// ByID returns the stack with the given ID.
+func (n *Namespace) ByID(id int) (*Stack, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s, ok := n.byID[id]
+	return s, ok
+}
+
+// Resolve finds the stack whose mount point is the longest prefix of path
+// (on path-component boundaries) and returns it with the path remainder.
+// It mirrors GenericFS's resolution: exact match first, then parents.
+func (n *Namespace) Resolve(path string) (*Stack, string, bool) {
+	p := CleanMount(path)
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for probe := p; ; {
+		if s, ok := n.byPath[probe]; ok {
+			rem := strings.TrimPrefix(p, probe)
+			rem = strings.TrimPrefix(rem, "/")
+			return s, rem, true
+		}
+		i := strings.LastIndex(probe, "/")
+		if i < 0 {
+			break
+		}
+		if i == 0 {
+			// try root mount "/" last
+			if s, ok := n.byPath["/"]; ok {
+				return s, strings.TrimPrefix(p, "/"), true
+			}
+			break
+		}
+		probe = probe[:i]
+	}
+	return nil, "", false
+}
+
+// Mounts returns all mount points (unordered).
+func (n *Namespace) Mounts() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.byPath))
+	for m := range n.byPath {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Stacks returns all mounted stacks (unordered).
+func (n *Namespace) Stacks() []*Stack {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*Stack, 0, len(n.byID))
+	for _, s := range n.byID {
+		out = append(out, s)
+	}
+	return out
+}
+
+// CleanMount normalizes a mount path: ensures a leading slash for
+// slash-rooted paths, strips trailing slashes, collapses doubles. Scheme
+// prefixes like "fs::/b" are preserved.
+func CleanMount(p string) string {
+	scheme := ""
+	if i := strings.Index(p, "::"); i >= 0 {
+		scheme, p = p[:i+2], p[i+2:]
+	}
+	for strings.Contains(p, "//") {
+		p = strings.ReplaceAll(p, "//", "/")
+	}
+	if len(p) > 1 {
+		p = strings.TrimRight(p, "/")
+	}
+	if p == "" {
+		p = "/"
+	}
+	return scheme + p
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is the Module Registry: a concurrent map from LabMod UUID to the
+// live module instance (in the paper, a hashmap in shared memory holding
+// instances and their entrypoints). Workers look instances up per hop, so a
+// Swap takes effect for all subsequent requests — the mechanism behind
+// hot-plugging and live upgrades.
+type Registry struct {
+	mu      sync.RWMutex
+	mods    map[string]Module
+	version map[string]int // swap generation per UUID
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		mods:    make(map[string]Module),
+		version: make(map[string]int),
+	}
+}
+
+// Instantiate creates, configures, and registers a module instance for the
+// given UUID if one does not already exist (mount only instantiates LabMods
+// whose UUID is absent, so stacks can share instances). It returns the
+// registered instance.
+func (r *Registry) Instantiate(uuid, typeName string, cfg Config, env *Env) (Module, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.mods[uuid]; ok {
+		return m, nil
+	}
+	m, err := NewModule(typeName)
+	if err != nil {
+		return nil, err
+	}
+	cfg.UUID = uuid
+	if err := m.Configure(cfg, env); err != nil {
+		return nil, fmt.Errorf("configure %q (%s): %w", uuid, typeName, err)
+	}
+	r.mods[uuid] = m
+	return m, nil
+}
+
+// Register inserts a pre-built instance (used by tests and by decentralized
+// client-side registries).
+func (r *Registry) Register(uuid string, m Module) {
+	r.mu.Lock()
+	r.mods[uuid] = m
+	r.mu.Unlock()
+}
+
+// Get returns the live instance for a UUID.
+func (r *Registry) Get(uuid string) (Module, error) {
+	r.mu.RLock()
+	m, ok := r.mods[uuid]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: module %q not in registry", uuid)
+	}
+	return m, nil
+}
+
+// Has reports whether a UUID is registered.
+func (r *Registry) Has(uuid string) bool {
+	r.mu.RLock()
+	_, ok := r.mods[uuid]
+	r.mu.RUnlock()
+	return ok
+}
+
+// Swap replaces the instance behind uuid with next after transferring state
+// via next.StateUpdate(old). This is the core of both upgrade protocols.
+func (r *Registry) Swap(uuid string, next Module) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.mods[uuid]
+	if !ok {
+		return fmt.Errorf("core: module %q not in registry", uuid)
+	}
+	if err := next.StateUpdate(old); err != nil {
+		return fmt.Errorf("state update for %q: %w", uuid, err)
+	}
+	r.mods[uuid] = next
+	r.version[uuid]++
+	return nil
+}
+
+// Generation returns how many times uuid has been swapped.
+func (r *Registry) Generation(uuid string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version[uuid]
+}
+
+// Remove deletes an instance.
+func (r *Registry) Remove(uuid string) {
+	r.mu.Lock()
+	delete(r.mods, uuid)
+	delete(r.version, uuid)
+	r.mu.Unlock()
+}
+
+// UUIDs returns the registered instance names (unordered).
+func (r *Registry) UUIDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.mods))
+	for u := range r.mods {
+		out = append(out, u)
+	}
+	return out
+}
+
+// ForEach calls fn for every registered (uuid, instance) pair.
+func (r *Registry) ForEach(fn func(uuid string, m Module)) {
+	r.mu.RLock()
+	snapshot := make(map[string]Module, len(r.mods))
+	for u, m := range r.mods {
+		snapshot[u] = m
+	}
+	r.mu.RUnlock()
+	for u, m := range snapshot {
+		fn(u, m)
+	}
+}
+
+// RepairAll invokes StateRepair on every instance (crash-recovery path).
+// It returns the first error encountered but repairs all instances.
+func (r *Registry) RepairAll() error {
+	var first error
+	r.ForEach(func(uuid string, m Module) {
+		if err := m.StateRepair(); err != nil && first == nil {
+			first = fmt.Errorf("repair %q: %w", uuid, err)
+		}
+	})
+	return first
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Repo is a LabMod repository: a named collection of module types that can
+// be mounted into (and unmounted from) the type namespace at runtime — the
+// paper's `mount.repo` / `unmount.repo`. In the paper a repo is a directory
+// of plug-in libraries searched by the Runtime; here it is a set of
+// registered factories, which is the in-process equivalent of loading the
+// plug-ins.
+type Repo struct {
+	Name string
+	// Owner is the UID that mounted the repo.
+	Owner int
+	// Trusted repos may run inside the Runtime's address space; untrusted
+	// ones are confined to client-side (sync) execution.
+	Trusted bool
+
+	types map[string]Factory
+}
+
+// NewRepo builds a repo from (type name → factory) pairs.
+func NewRepo(name string, owner int, trusted bool, types map[string]Factory) *Repo {
+	cp := make(map[string]Factory, len(types))
+	for k, v := range types {
+		cp[k] = v
+	}
+	return &Repo{Name: name, Owner: owner, Trusted: trusted, types: cp}
+}
+
+// Types lists the module types the repo provides, sorted.
+func (r *Repo) Types() []string {
+	out := make([]string, 0, len(r.types))
+	for t := range r.types {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RepoManager tracks mounted repos and enforces the configurable per-user
+// repo quota. Mounting a repo registers its types with the global factory
+// namespace; unmounting removes them (unless another mounted repo also
+// provides them).
+type RepoManager struct {
+	mu          sync.Mutex
+	repos       map[string]*Repo
+	perUser     map[int]int
+	maxPerUser  int
+	trustedUIDs map[int]bool
+}
+
+// NewRepoManager returns a manager with the given per-user quota
+// (0 = unlimited). UIDs in trusted are allowed to mount trusted repos
+// (the paper: a repo owned by the Runtime's user is trusted by default).
+func NewRepoManager(maxPerUser int, trusted ...int) *RepoManager {
+	m := &RepoManager{
+		repos:       make(map[string]*Repo),
+		perUser:     make(map[int]int),
+		maxPerUser:  maxPerUser,
+		trustedUIDs: make(map[int]bool),
+	}
+	for _, uid := range trusted {
+		m.trustedUIDs[uid] = true
+	}
+	return m
+}
+
+// Mount registers a repo's types. It is unprivileged, but enforces the
+// per-user quota and downgrades the Trusted flag for untrusted owners.
+func (m *RepoManager) Mount(r *Repo) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.repos[r.Name]; dup {
+		return fmt.Errorf("core: repo %q already mounted", r.Name)
+	}
+	if m.maxPerUser > 0 && m.perUser[r.Owner] >= m.maxPerUser {
+		return fmt.Errorf("core: uid %d exceeds the repo quota (%d)", r.Owner, m.maxPerUser)
+	}
+	if r.Trusted && !m.trustedUIDs[r.Owner] && r.Owner != 0 {
+		r.Trusted = false
+	}
+	for name, f := range r.types {
+		RegisterType(name, f)
+	}
+	m.repos[r.Name] = r
+	m.perUser[r.Owner]++
+	return nil
+}
+
+// Unmount removes a repo. Types still provided by another mounted repo
+// stay registered; the rest are deregistered.
+func (m *RepoManager) Unmount(name string, uid int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.repos[name]
+	if !ok {
+		return fmt.Errorf("core: repo %q not mounted", name)
+	}
+	if uid != 0 && uid != r.Owner {
+		return fmt.Errorf("core: uid %d may not unmount repo %q (owner %d)", uid, name, r.Owner)
+	}
+	delete(m.repos, name)
+	m.perUser[r.Owner]--
+	for typeName := range r.types {
+		stillProvided := false
+		for _, other := range m.repos {
+			if _, ok := other.types[typeName]; ok {
+				stillProvided = true
+				break
+			}
+		}
+		if !stillProvided {
+			deregisterType(typeName)
+		}
+	}
+	return nil
+}
+
+// Repos lists the mounted repo names, sorted.
+func (m *RepoManager) Repos() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.repos))
+	for n := range m.repos {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns a mounted repo.
+func (m *RepoManager) Lookup(name string) (*Repo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.repos[name]
+	return r, ok
+}
+
+// TrustedType reports whether typeName comes only from trusted repos (or
+// from the built-in registry, which is always trusted).
+func (m *RepoManager) TrustedType(typeName string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fromRepo := false
+	for _, r := range m.repos {
+		if _, ok := r.types[typeName]; ok {
+			fromRepo = true
+			if r.Trusted {
+				return true
+			}
+		}
+	}
+	return !fromRepo // built-in types are trusted
+}
+
+// deregisterType removes a type from the global factory namespace.
+func deregisterType(name string) {
+	factoryMu.Lock()
+	delete(factories, name)
+	factoryMu.Unlock()
+}

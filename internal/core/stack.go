@@ -1,0 +1,294 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ExecMode selects where a stack's DAG executes (paper §III-B governing
+// rules).
+type ExecMode uint8
+
+const (
+	// ExecAsync executes the DAG in the Runtime: the client submits the
+	// request over a shared-memory queue pair and a worker walks the DAG.
+	// This is the centralized, secure mode (Lab-All / Lab-Min).
+	ExecAsync ExecMode = iota
+	// ExecSync executes the DAG directly in the client thread with no IPC —
+	// the decentralized mode (Lab-D / "Minimal").
+	ExecSync
+)
+
+func (m ExecMode) String() string {
+	if m == ExecSync {
+		return "sync"
+	}
+	return "async"
+}
+
+// Vertex is one node of a LabStack DAG.
+type Vertex struct {
+	// UUID is the human-readable unique instance name (Module Registry key).
+	UUID string
+	// Type is the module implementation to instantiate if the UUID is new.
+	Type string
+	// Attrs are initialization attributes for the instance.
+	Attrs map[string]string
+	// Outputs lists downstream vertex UUIDs (or "stack:<mount>" references
+	// to other mounted stacks).
+	Outputs []string
+}
+
+// Rules are a stack's governing rules.
+type Rules struct {
+	ExecMode ExecMode
+	// Priority is a scheduling hint (higher = more latency sensitive).
+	Priority int
+	// Owners are UIDs allowed to modify the stack (empty = creator only).
+	Owners []int
+	// MaxDepth bounds DAG length at validation time (0 = platform default).
+	MaxDepth int
+}
+
+// Stack is a mounted LabStack: a mount point, governing rules and a DAG of
+// LabMod vertices, entry first.
+type Stack struct {
+	ID    int
+	Mount string
+	Rules Rules
+
+	mu       sync.RWMutex
+	vertices []Vertex
+	index    map[string]int // uuid -> position in vertices
+}
+
+// NewStack builds a stack from an ordered vertex list; the first vertex is
+// the entry point.
+func NewStack(mount string, rules Rules, vertices []Vertex) *Stack {
+	s := &Stack{Mount: mount, Rules: rules}
+	s.setVertices(vertices)
+	return s
+}
+
+func (s *Stack) setVertices(vs []Vertex) {
+	s.vertices = vs
+	s.index = make(map[string]int, len(vs))
+	for i, v := range vs {
+		s.index[v.UUID] = i
+	}
+}
+
+// Entry returns the entry vertex UUID ("" for an empty stack).
+func (s *Stack) Entry() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.vertices) == 0 {
+		return ""
+	}
+	return s.vertices[0].UUID
+}
+
+// Vertices returns a copy of the DAG's vertex list.
+func (s *Stack) Vertices() []Vertex {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Vertex, len(s.vertices))
+	copy(out, s.vertices)
+	return out
+}
+
+// Vertex returns the vertex with the given UUID.
+func (s *Stack) Vertex(uuid string) (Vertex, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.index[uuid]
+	if !ok {
+		return Vertex{}, false
+	}
+	return s.vertices[i], true
+}
+
+// Outputs returns the downstream UUIDs of the named vertex.
+func (s *Stack) Outputs(uuid string) []string {
+	v, ok := s.Vertex(uuid)
+	if !ok {
+		return nil
+	}
+	return v.Outputs
+}
+
+// Len returns the number of vertices.
+func (s *Stack) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.vertices)
+}
+
+// InsertAfter inserts a new vertex after the vertex with UUID `after`
+// (modify_stack: dynamic semantics imposition, e.g. adding a compression
+// LabMod for a period of time). The new vertex inherits `after`'s outputs
+// and `after` is rewired to point at it. An empty `after` prepends a new
+// entry vertex.
+func (s *Stack) InsertAfter(after string, v Vertex) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.index[v.UUID]; dup {
+		return fmt.Errorf("core: vertex %q already in stack %q", v.UUID, s.Mount)
+	}
+	if after == "" {
+		if len(s.vertices) > 0 && len(v.Outputs) == 0 {
+			v.Outputs = []string{s.vertices[0].UUID}
+		}
+		s.setVertices(append([]Vertex{v}, s.vertices...))
+		return nil
+	}
+	i, ok := s.index[after]
+	if !ok {
+		return fmt.Errorf("core: vertex %q not in stack %q", after, s.Mount)
+	}
+	if len(v.Outputs) == 0 {
+		v.Outputs = append([]string(nil), s.vertices[i].Outputs...)
+	}
+	s.vertices[i].Outputs = []string{v.UUID}
+	vs := make([]Vertex, 0, len(s.vertices)+1)
+	vs = append(vs, s.vertices[:i+1]...)
+	vs = append(vs, v)
+	vs = append(vs, s.vertices[i+1:]...)
+	s.setVertices(vs)
+	return nil
+}
+
+// RemoveVertex removes the named vertex, splicing its inputs to its outputs.
+// Removing the entry vertex promotes its first output to entry.
+func (s *Stack) RemoveVertex(uuid string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[uuid]
+	if !ok {
+		return fmt.Errorf("core: vertex %q not in stack %q", uuid, s.Mount)
+	}
+	removed := s.vertices[i]
+	vs := make([]Vertex, 0, len(s.vertices)-1)
+	for j, v := range s.vertices {
+		if j == i {
+			continue
+		}
+		outs := make([]string, 0, len(v.Outputs))
+		for _, o := range v.Outputs {
+			if o == uuid {
+				outs = append(outs, removed.Outputs...)
+			} else {
+				outs = append(outs, o)
+			}
+		}
+		v.Outputs = dedup(outs)
+		vs = append(vs, v)
+	}
+	s.setVertices(vs)
+	return nil
+}
+
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ErrCycle is returned by Validate for cyclic DAGs.
+var ErrCycle = errors.New("core: stack DAG contains a cycle")
+
+// Validate checks the stack: non-empty, referenced outputs exist (or are
+// stack references), the DAG is acyclic, depth within bounds, and adjacent
+// module interfaces are compatible per the registry's instances.
+func (s *Stack) Validate(reg *Registry) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.vertices) == 0 {
+		return fmt.Errorf("core: stack %q has no vertices", s.Mount)
+	}
+	maxDepth := s.Rules.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 64
+	}
+	if len(s.vertices) > maxDepth {
+		return fmt.Errorf("core: stack %q exceeds max depth %d", s.Mount, maxDepth)
+	}
+	for _, v := range s.vertices {
+		for _, o := range v.Outputs {
+			if strings.HasPrefix(o, "stack:") {
+				continue
+			}
+			if _, ok := s.index[o]; !ok {
+				return fmt.Errorf("core: stack %q vertex %q references unknown output %q", s.Mount, v.UUID, o)
+			}
+		}
+	}
+	// Cycle check (DFS with colors).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(s.vertices))
+	var visit func(u string) error
+	visit = func(u string) error {
+		color[u] = gray
+		i := s.index[u]
+		for _, o := range s.vertices[i].Outputs {
+			if strings.HasPrefix(o, "stack:") {
+				continue
+			}
+			switch color[o] {
+			case gray:
+				return fmt.Errorf("%w: via %q -> %q", ErrCycle, u, o)
+			case white:
+				if err := visit(o); err != nil {
+					return err
+				}
+			}
+		}
+		color[u] = black
+		return nil
+	}
+	for _, v := range s.vertices {
+		if color[v.UUID] == white {
+			if err := visit(v.UUID); err != nil {
+				return err
+			}
+		}
+	}
+	// Interface compatibility: upstream Produces must match downstream
+	// Consumes (or either side is APIAny).
+	if reg != nil {
+		for _, v := range s.vertices {
+			m, err := reg.Get(v.UUID)
+			if err != nil {
+				continue // not yet instantiated; compatibility checked at mount
+			}
+			up := m.Info().Produces
+			for _, o := range v.Outputs {
+				if strings.HasPrefix(o, "stack:") {
+					continue
+				}
+				dm, err := reg.Get(o)
+				if err != nil {
+					continue
+				}
+				down := dm.Info().Consumes
+				if up != APIAny && down != APIAny && up != down {
+					return fmt.Errorf("core: stack %q: %q produces %q but %q consumes %q",
+						s.Mount, v.UUID, up, o, down)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package device provides the simulated storage hardware that substitutes
+// for the paper's testbed devices (Intel P3700 NVMe, Intel SATA SSD, Seagate
+// 15K HDD, bootloader-emulated PMEM).
+//
+// Each Device is *functional* — bytes written really persist in a sparse
+// in-RAM store and can be read back — and *modeled* — every operation is
+// assigned a virtual-time service interval derived from a per-device-class
+// Profile (fixed access latency, transfer bandwidth, seek/rotation for HDDs,
+// internal parallelism for NVMe/PMEM). The service interval is computed with
+// vtime.Server so device-level queueing emerges naturally when submissions
+// outpace the device.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOutOfRange is returned for accesses beyond the device capacity.
+var ErrOutOfRange = errors.New("device: access out of range")
+
+const chunkSize = 64 * 1024
+
+// SparseStore is a sparse, chunk-allocated byte store. It lets us model
+// multi-terabyte devices without reserving RAM: chunks materialize on first
+// write; reads of unwritten ranges return zeros (as a fresh device would).
+type SparseStore struct {
+	capacity int64
+	mu       sync.RWMutex
+	chunks   map[int64][]byte
+}
+
+// NewSparseStore returns a store with the given logical capacity in bytes.
+func NewSparseStore(capacity int64) *SparseStore {
+	return &SparseStore{capacity: capacity, chunks: make(map[int64][]byte)}
+}
+
+// Capacity returns the logical size in bytes.
+func (s *SparseStore) Capacity() int64 { return s.capacity }
+
+// Materialized returns the number of bytes actually allocated.
+func (s *SparseStore) Materialized() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.chunks)) * chunkSize
+}
+
+func (s *SparseStore) check(off int64, n int) error {
+	if off < 0 || n < 0 || off+int64(n) > s.capacity {
+		return fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, n, s.capacity)
+	}
+	return nil
+}
+
+// WriteAt copies p into the store at off.
+func (s *SparseStore) WriteAt(p []byte, off int64) (int, error) {
+	if err := s.check(off, len(p)); err != nil {
+		return 0, err
+	}
+	written := 0
+	s.mu.Lock()
+	for written < len(p) {
+		ci := (off + int64(written)) / chunkSize
+		co := int((off + int64(written)) % chunkSize)
+		chunk, ok := s.chunks[ci]
+		if !ok {
+			chunk = make([]byte, chunkSize)
+			s.chunks[ci] = chunk
+		}
+		n := copy(chunk[co:], p[written:])
+		written += n
+	}
+	s.mu.Unlock()
+	return written, nil
+}
+
+// ReadAt fills p from the store at off; unwritten ranges read as zeros.
+func (s *SparseStore) ReadAt(p []byte, off int64) (int, error) {
+	if err := s.check(off, len(p)); err != nil {
+		return 0, err
+	}
+	read := 0
+	s.mu.RLock()
+	for read < len(p) {
+		ci := (off + int64(read)) / chunkSize
+		co := int((off + int64(read)) % chunkSize)
+		n := chunkSize - co
+		if n > len(p)-read {
+			n = len(p) - read
+		}
+		if chunk, ok := s.chunks[ci]; ok {
+			copy(p[read:read+n], chunk[co:co+n])
+		} else {
+			for i := read; i < read+n; i++ {
+				p[i] = 0
+			}
+		}
+		read += n
+	}
+	s.mu.RUnlock()
+	return read, nil
+}
+
+// Trim discards the chunks fully covered by [off, off+n), returning the
+// range to its zeroed state (models DISCARD/TRIM).
+func (s *SparseStore) Trim(off, n int64) error {
+	if err := s.check(off, int(min64(n, int64(int(^uint(0)>>1))))); err != nil {
+		return err
+	}
+	first := (off + chunkSize - 1) / chunkSize
+	last := (off + n) / chunkSize
+	s.mu.Lock()
+	for ci := first; ci < last; ci++ {
+		delete(s.chunks, ci)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"labstor/internal/device"
+	"labstor/internal/kernel"
+	"labstor/internal/runtime"
+	"labstor/internal/vtime"
+	"labstor/internal/workload"
+)
+
+// Filebench reproduces Fig. 9(c-d), "Cloud workloads": the four Filebench
+// personalities (varmail, webserver, webproxy, fileserver) with default op
+// mixes over NVMe and PMEM, comparing kernel filesystems against LabFS
+// stacks (All / Min / D). The Runtime runs 8 workers.
+//
+// Paper result: LabFS stacks win markedly (up to 2.5x throughput) on the
+// metadata- and fsync-heavy personalities by cutting context switches and
+// path length; fileserver — dominated by large I/O — is the exception,
+// where everyone converges.
+func Filebench(iterations int, devices []device.Class) (*Result, error) {
+	if iterations <= 0 {
+		iterations = 8
+	}
+	if len(devices) == 0 {
+		devices = []device.Class{device.NVMe}
+	}
+	res := &Result{Name: "Fig 9(c,d): Filebench personalities"}
+	res.Table = newTable("Device", "Personality", "System", "kops/s", "MB/s")
+
+	personalities := []string{"varmail", "webserver", "webproxy", "fileserver"}
+	systems := []string{"ext4", "xfs", "f2fs", "LabFS-All", "LabFS-Min", "LabFS-D"}
+
+	for _, class := range devices {
+		for _, p := range personalities {
+			for _, sys := range systems {
+				kops, mbps, err := runFilebenchTrial(class, sys, p, iterations)
+				if err != nil {
+					return nil, err
+				}
+				res.Table.AddRowf(class.String(), p, sys, kops, mbps)
+				res.V(fmt.Sprintf("%s_%s_%s", class, p, sys), kops*1000)
+			}
+		}
+	}
+	res.Notes = fmt.Sprintf("8 threads, %d iterations of each personality's default op mix", iterations)
+	return res, nil
+}
+
+func runFilebenchTrial(class device.Class, system, personality string, iterations int) (kops, mbps float64, err error) {
+	var fs workload.FS
+	var cleanup func()
+	switch system {
+	case "ext4", "xfs", "f2fs":
+		prof, err := kernel.KFSProfileFor(system)
+		if err != nil {
+			return 0, 0, err
+		}
+		dev := device.New("dev0", class, 4<<30)
+		fs = &workload.KernelFS{FSName: system, KFS: kernel.NewKFS(prof, dev, vtime.Default())}
+		cleanup = func() {}
+	case "LabFS-All", "LabFS-Min", "LabFS-D":
+		rt := runtime.New(runtime.Options{MaxWorkers: 8, QueueDepth: 4096})
+		dev := device.New("dev0", class, 4<<30)
+		rt.AddDevice(dev)
+		cfg := LabCfg{Generic: true, Cache: true, Sched: "noop", Driver: "kernel_driver", LogMB: 64}
+		if class == device.PMEM {
+			cfg.Driver = "dax"
+			cfg.Sched = ""
+		}
+		switch system {
+		case "LabFS-All":
+			cfg.Perms = true
+		case "LabFS-D":
+			cfg.Sync = true
+		}
+		if _, err := MountLab(rt, "fs::/fb", "dev0", cfg); err != nil {
+			return 0, 0, err
+		}
+		rt.Start()
+		fs = &workload.LabStorFS{FSName: system, RT: rt, Mount: "fs::/fb"}
+		cleanup = rt.Shutdown
+	default:
+		return 0, 0, fmt.Errorf("experiments: unknown system %q", system)
+	}
+	defer cleanup()
+
+	r, err := workload.RunFilebench(fs, workload.FilebenchJob{
+		Personality: personality,
+		Threads:     8,
+		Files:       32,
+		Iterations:  iterations,
+		Seed:        7,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.OpsPerSec / 1000, r.MBps, nil
+}

@@ -1,0 +1,254 @@
+package ipc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](8)
+	for i := 0; i < 5; i++ {
+		if err := r.Enqueue(i); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, err := r.Dequeue()
+		if err != nil {
+			t.Fatalf("dequeue %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("got %d, want %d (FIFO violated)", v, i)
+		}
+	}
+	if _, err := r.Dequeue(); err != ErrEmpty {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+}
+
+func TestRingFull(t *testing.T) {
+	r := NewRing[int](4)
+	for i := 0; i < r.Cap(); i++ {
+		if err := r.Enqueue(i); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	if err := r.Enqueue(99); err != ErrFull {
+		t.Fatalf("expected ErrFull, got %v", err)
+	}
+	// Draining one frees one slot.
+	if _, err := r.Dequeue(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Enqueue(99); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	if NewRing[int](3).Cap() != 4 {
+		t.Fatal("capacity must round up to a power of two")
+	}
+	if NewRing[int](0).Cap() != 2 {
+		t.Fatal("minimum capacity is 2")
+	}
+}
+
+func TestRingConcurrentNoLoss(t *testing.T) {
+	r := NewRing[int](1024)
+	const producers, perProducer = 4, 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for r.Enqueue(p*perProducer+i) != nil {
+				}
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*perProducer)
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, err := r.Dequeue()
+				if err != nil {
+					select {
+					case <-done:
+						// Final drain.
+						for {
+							v, err := r.Dequeue()
+							if err != nil {
+								return
+							}
+							mu.Lock()
+							seen[v] = true
+							mu.Unlock()
+						}
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("lost items: got %d, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestRingQuickFIFOSingleStream(t *testing.T) {
+	// Property: a single producer/consumer sees exactly its input sequence.
+	f := func(vals []uint8) bool {
+		r := NewRing[uint8](len(vals) + 1)
+		for _, v := range vals {
+			if r.Enqueue(v) != nil {
+				return false
+			}
+		}
+		for _, want := range vals {
+			got, err := r.Dequeue()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueuePairProtocol(t *testing.T) {
+	qp := NewQueuePair[string](7, Primary, true, 16)
+	if qp.ID != 7 || qp.Kind != Primary || !qp.Ordered {
+		t.Fatal("metadata")
+	}
+	if err := qp.Submit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if qp.Inflight() != 1 || qp.SQLen() != 1 {
+		t.Fatalf("inflight=%d sqlen=%d", qp.Inflight(), qp.SQLen())
+	}
+	v, err := qp.PollSQ()
+	if err != nil || v != "a" {
+		t.Fatalf("PollSQ: %v %v", v, err)
+	}
+	if err := qp.Complete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if qp.Inflight() != 0 {
+		t.Fatalf("inflight after complete: %d", qp.Inflight())
+	}
+	got, err := qp.PollCQ()
+	if err != nil || got != "a" {
+		t.Fatalf("PollCQ: %v %v", got, err)
+	}
+}
+
+func TestQueuePairUpgradeHandshake(t *testing.T) {
+	qp := NewQueuePair[int](1, Primary, true, 4)
+	if qp.State() != Running {
+		t.Fatal("initial state")
+	}
+	if !qp.MarkUpdatePending() {
+		t.Fatal("MarkUpdatePending failed")
+	}
+	if qp.MarkUpdatePending() {
+		t.Fatal("double MarkUpdatePending succeeded")
+	}
+	if qp.State() != UpdatePending {
+		t.Fatal("state after mark")
+	}
+	if !qp.AckUpdate() {
+		t.Fatal("AckUpdate failed")
+	}
+	if qp.State() != UpdateAcked {
+		t.Fatal("state after ack")
+	}
+	qp.ResumeAfterUpdate()
+	if qp.State() != Running {
+		t.Fatal("state after resume")
+	}
+	// State string coverage.
+	for _, s := range []UpgradeState{Running, UpdatePending, UpdateAcked, UpgradeState(9)} {
+		if s.String() == "" {
+			t.Fatal("empty state string")
+		}
+	}
+}
+
+func TestQueueKindString(t *testing.T) {
+	if Primary.String() != "primary" || Intermediate.String() != "intermediate" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestSegmentACL(t *testing.T) {
+	m := NewSegmentManager()
+	creator := Credentials{PID: 100, UID: 1, GID: 1}
+	seg := m.Allocate("qp-1", 4096, creator)
+	if seg.Size() != 4096 {
+		t.Fatalf("size %d", seg.Size())
+	}
+	if !seg.Granted(100) {
+		t.Fatal("creator must be granted")
+	}
+	// Another process of the SAME user is still denied until granted —
+	// the paper's "even among processes launched by the same user".
+	if _, err := seg.Map(101); err == nil {
+		t.Fatal("ungranted pid mapped segment")
+	}
+	seg.Grant(101)
+	if _, err := seg.Map(101); err != nil {
+		t.Fatalf("granted pid denied: %v", err)
+	}
+	seg.Revoke(101)
+	if _, err := seg.Map(101); err == nil {
+		t.Fatal("revoked pid mapped segment")
+	}
+}
+
+func TestSegmentManagerLifecycle(t *testing.T) {
+	m := NewSegmentManager()
+	cred := Credentials{PID: 1}
+	m.Allocate("a", 16, cred)
+	m.Allocate("b", 16, cred)
+	// Re-allocating an existing name returns it and grants the caller.
+	seg := m.Allocate("a", 999, Credentials{PID: 2})
+	if seg.Size() != 16 {
+		t.Fatal("re-allocate must not resize")
+	}
+	if !seg.Granted(2) {
+		t.Fatal("re-allocate must grant")
+	}
+	if len(m.Names()) != 2 {
+		t.Fatalf("names: %v", m.Names())
+	}
+	if _, err := m.Lookup("a"); err != nil {
+		t.Fatal(err)
+	}
+	m.Free("a")
+	if _, err := m.Lookup("a"); err == nil {
+		t.Fatal("freed segment still found")
+	}
+	if cred.String() == "" {
+		t.Fatal("credentials string")
+	}
+}

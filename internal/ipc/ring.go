@@ -1,0 +1,125 @@
+// Package ipc implements LabStor's inter-process communication substrate:
+// bounded lock-free rings, submission/completion queue pairs, and a
+// shared-segment manager that stands in for the paper's ShMemMod
+// (vmalloc + remap_pfn_range shared memory with per-process grants).
+//
+// In the paper, clients and the Runtime live in separate address spaces and
+// exchange cacheline-sized requests over shared-memory queues. Here the
+// "address spaces" are goroutines inside one process; the queue protocol
+// (polling, ordered/unordered, primary/intermediate, UPDATE_PENDING /
+// UPDATE_ACKED upgrade flags) is reproduced faithfully, and the cross-core
+// cacheline-transfer cost is charged in virtual time by the runtime.
+package ipc
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrFull is returned by Enqueue when the ring has no free slots.
+var ErrFull = errors.New("ipc: ring full")
+
+// ErrEmpty is returned by Dequeue when the ring has no pending items.
+var ErrEmpty = errors.New("ipc: ring empty")
+
+type slot[T any] struct {
+	seq atomic.Uint64
+	val T
+	// pad keeps hot slots from sharing cache lines in the common
+	// pointer-payload case.
+	_ [40]byte
+}
+
+// Ring is a bounded multi-producer/multi-consumer lock-free FIFO queue
+// (Vyukov's bounded MPMC algorithm). The capacity is rounded up to a power
+// of two. The zero value is not usable; construct with NewRing.
+type Ring[T any] struct {
+	mask    uint64
+	slots   []slot[T]
+	_       [48]byte
+	enqueue atomic.Uint64
+	_       [56]byte
+	dequeue atomic.Uint64
+	_       [56]byte
+}
+
+// NewRing returns a ring with capacity at least n (rounded up to a power of
+// two, minimum 2).
+func NewRing[T any](n int) *Ring[T] {
+	capacity := 2
+	for capacity < n {
+		capacity <<= 1
+	}
+	r := &Ring[T]{
+		mask:  uint64(capacity - 1),
+		slots: make([]slot[T], capacity),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Len returns the approximate number of queued items.
+func (r *Ring[T]) Len() int {
+	e := r.enqueue.Load()
+	d := r.dequeue.Load()
+	if e < d {
+		return 0
+	}
+	n := int(e - d)
+	if n > len(r.slots) {
+		n = len(r.slots)
+	}
+	return n
+}
+
+// Enqueue adds v to the ring; it returns ErrFull if no slot is free.
+func (r *Ring[T]) Enqueue(v T) error {
+	pos := r.enqueue.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enqueue.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1)
+				return nil
+			}
+			pos = r.enqueue.Load()
+		case seq < pos:
+			return ErrFull
+		default:
+			pos = r.enqueue.Load()
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest item; it returns ErrEmpty if the
+// ring is empty.
+func (r *Ring[T]) Dequeue() (T, error) {
+	var zero T
+	pos := r.dequeue.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.dequeue.CompareAndSwap(pos, pos+1) {
+				v := s.val
+				s.val = zero
+				s.seq.Store(pos + r.mask + 1)
+				return v, nil
+			}
+			pos = r.dequeue.Load()
+		case seq < pos+1:
+			return zero, ErrEmpty
+		default:
+			pos = r.dequeue.Load()
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrAccessDenied is returned when a process reads or maps a segment it has
+// not been granted.
+var ErrAccessDenied = errors.New("ipc: access denied")
+
+// ErrNoSegment is returned when a named segment does not exist.
+var ErrNoSegment = errors.New("ipc: no such segment")
+
+// Credentials are the process credentials a client presents over the UNIX
+// domain socket when connecting to the Runtime (paper §III-C). The Runtime
+// uses them for authentication and to grant segment access.
+type Credentials struct {
+	PID int
+	UID int
+	GID int
+}
+
+func (c Credentials) String() string {
+	return fmt.Sprintf("pid=%d uid=%d gid=%d", c.PID, c.UID, c.GID)
+}
+
+// Segment models one vmalloc'd shared-memory region managed by the ShMemMod:
+// a byte region plus an access-control list of processes allowed to map it.
+// Memory can only be mapped by processes that have been granted access by
+// the Runtime, even among processes launched by the same user.
+type Segment struct {
+	Name string
+	mu   sync.RWMutex
+	data []byte
+	acl  map[int]bool // pid -> granted
+}
+
+// Grant allows pid to map the segment.
+func (s *Segment) Grant(pid int) {
+	s.mu.Lock()
+	s.acl[pid] = true
+	s.mu.Unlock()
+}
+
+// Revoke removes pid's access.
+func (s *Segment) Revoke(pid int) {
+	s.mu.Lock()
+	delete(s.acl, pid)
+	s.mu.Unlock()
+}
+
+// Granted reports whether pid may map the segment.
+func (s *Segment) Granted(pid int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.acl[pid]
+}
+
+// Map returns the segment's backing bytes if pid has been granted access.
+func (s *Segment) Map(pid int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.acl[pid] {
+		return nil, fmt.Errorf("segment %q pid %d: %w", s.Name, pid, ErrAccessDenied)
+	}
+	return s.data, nil
+}
+
+// Size returns the segment length in bytes.
+func (s *Segment) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// SegmentManager is the ShMemMod stand-in: it allocates named shared
+// segments and enforces per-process grants.
+type SegmentManager struct {
+	mu       sync.RWMutex
+	segments map[string]*Segment
+}
+
+// NewSegmentManager returns an empty manager.
+func NewSegmentManager() *SegmentManager {
+	return &SegmentManager{segments: make(map[string]*Segment)}
+}
+
+// Allocate creates (or returns the existing) segment with the given name and
+// size and grants the creating pid access. Size is only applied on creation.
+func (m *SegmentManager) Allocate(name string, size int, creator Credentials) *Segment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.segments[name]; ok {
+		s.Grant(creator.PID)
+		return s
+	}
+	s := &Segment{
+		Name: name,
+		data: make([]byte, size),
+		acl:  map[int]bool{creator.PID: true},
+	}
+	m.segments[name] = s
+	return s
+}
+
+// Lookup returns the named segment.
+func (m *SegmentManager) Lookup(name string) (*Segment, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.segments[name]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNoSegment)
+	}
+	return s, nil
+}
+
+// Free releases the named segment.
+func (m *SegmentManager) Free(name string) {
+	m.mu.Lock()
+	delete(m.segments, name)
+	m.mu.Unlock()
+}
+
+// Names returns the allocated segment names (unordered).
+func (m *SegmentManager) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.segments))
+	for n := range m.segments {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"labstor/internal/device"
+	"labstor/internal/vtime"
+)
+
+func TestEngineLadderAt4K(t *testing.T) {
+	model := vtime.Default()
+	lat := map[string]vtime.Duration{}
+	for _, name := range []string{"posix", "posix_aio", "libaio", "io_uring"} {
+		dev := device.New("d", device.NVMe, 1<<30)
+		eng, err := NewEngine(name, dev, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := NewThread(0)
+		buf := make([]byte, 4096)
+		var total vtime.Duration
+		for i := 0; i < 50; i++ {
+			d, err := eng.DoIO(th, device.Write, int64(i)*8192, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += d
+		}
+		lat[name] = total
+	}
+	// The paper's ordering: io_uring < libaio < posix < posix_aio.
+	if !(lat["io_uring"] < lat["libaio"] && lat["libaio"] < lat["posix"] && lat["posix"] < lat["posix_aio"]) {
+		t.Fatalf("API ladder broken: %v", lat)
+	}
+}
+
+func TestEngineUnknownName(t *testing.T) {
+	if _, err := NewEngine("carrier_pigeon", device.New("d", device.NVMe, 1<<20), vtime.Default()); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestEngineFunctionalWrite(t *testing.T) {
+	dev := device.New("d", device.NVMe, 1<<20)
+	eng, _ := NewEngine("posix", dev, vtime.Default())
+	th := NewThread(0)
+	data := []byte("direct io")
+	if _, err := eng.DoIO(th, device.Write, 4096, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	dev.ReadAt(buf, 4096)
+	if !bytes.Equal(buf, data) {
+		t.Fatal("engine write did not persist")
+	}
+}
+
+func TestRunQueuePipelines(t *testing.T) {
+	model := vtime.Default()
+	mkOps := func(n int) []IOOp {
+		ops := make([]IOOp, n)
+		for i := range ops {
+			ops[i] = IOOp{Op: device.Write, Offset: int64(i) * 8192, Size: 4096}
+		}
+		return ops
+	}
+	// qd32 must finish much faster than qd1 on a parallel device.
+	dev1 := device.New("d1", device.NVMe, 1<<30)
+	eng1, _ := NewEngine("io_uring", dev1, model)
+	th1 := NewThread(0)
+	if _, err := eng1.RunQueue(th1, mkOps(64), 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	dev2 := device.New("d2", device.NVMe, 1<<30)
+	eng2, _ := NewEngine("io_uring", dev2, model)
+	th2 := NewThread(0)
+	// Spread across queues so depth actually overlaps.
+	ops := mkOps(64)
+	steer := 0
+	eng2.SetQueueSteer(func(t *Thread) int { steer++; return steer % dev2.HardwareQueues() })
+	if _, err := eng2.RunQueue(th2, ops, 32, nil); err != nil {
+		t.Fatal(err)
+	}
+	if th2.Now() >= th1.Now() {
+		t.Fatalf("qd32 (%v) not faster than qd1 (%v)", th2.Now(), th1.Now())
+	}
+}
+
+func TestBlkSwitchSteerAvoidsLoad(t *testing.T) {
+	dev := device.New("d", device.NVMe, 1<<30)
+	buf := make([]byte, 64<<10)
+	// Load queue 0 heavily.
+	for i := 0; i < 8; i++ {
+		dev.SubmitToQueue(0, device.Write, int64(i)*(64<<10), buf, 0)
+	}
+	steer := BlkSwitchSteer(dev)
+	th := NewThread(0) // core 0 -> own queue 0 is loaded
+	if q := steer(th); q == 0 {
+		t.Fatal("steered into the loaded queue")
+	}
+	// An idle own queue is preferred.
+	th5 := NewThread(5)
+	if q := steer(th5); q != 5 {
+		t.Fatalf("idle own queue not preferred: %d", q)
+	}
+}
+
+func TestKFSCreateContention(t *testing.T) {
+	model := vtime.Default()
+	for _, name := range []string{"ext4", "xfs", "f2fs"} {
+		prof, err := KFSProfileFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := NewKFS(prof, device.New("d"+name, device.NVMe, 1<<30), model)
+		// 4 threads create files in the same directory concurrently.
+		var wg sync.WaitGroup
+		threads := make([]*Thread, 4)
+		for i := range threads {
+			threads[i] = NewThread(i)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					if err := fs.Create(threads[i], fmt.Sprintf("dir/f-%d-%d", i, j)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		if fs.Creates() != 200 {
+			t.Fatalf("%s creates %d", name, fs.Creates())
+		}
+		// Throughput is bounded by the serialized lock holds: total elapsed
+		// must be at least ops x hold / shards.
+		var maxT vtime.Time
+		for _, th := range threads {
+			if th.Now() > maxT {
+				maxT = th.Now()
+			}
+		}
+		minSerial := vtime.Duration(200) * model.KFSDirLockHold / vtime.Duration(prof.DirShards)
+		if vtime.Duration(maxT) < minSerial/2 {
+			t.Fatalf("%s: no lock serialization visible (%v < %v)", name, maxT, minSerial)
+		}
+	}
+}
+
+func TestKFSWriteReadRoundTrip(t *testing.T) {
+	prof, _ := KFSProfileFor("ext4")
+	fs := NewKFS(prof, device.New("d", device.NVMe, 1<<30), vtime.Default())
+	th := NewThread(0)
+	data := bytes.Repeat([]byte{0xAB}, 10000)
+	if err := fs.Write(th, "f.bin", 100, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	n, err := fs.Read(th, "f.bin", 100, buf)
+	if err != nil || n != len(data) {
+		t.Fatalf("read %d %v", n, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("mismatch")
+	}
+	size, err := fs.Stat(th, "f.bin")
+	if err != nil || size != 100+int64(len(data)) {
+		t.Fatalf("stat %d %v", size, err)
+	}
+	// Hole before offset 100 reads zero.
+	hole := make([]byte, 50)
+	fs.Read(th, "f.bin", 0, hole)
+	for _, b := range hole {
+		if b != 0 {
+			t.Fatal("hole nonzero")
+		}
+	}
+}
+
+func TestKFSNamespaceOps(t *testing.T) {
+	prof, _ := KFSProfileFor("xfs")
+	fs := NewKFS(prof, device.New("d", device.NVMe, 1<<30), vtime.Default())
+	th := NewThread(0)
+	fs.Mkdir(th, "dir")
+	fs.Create(th, "dir/a")
+	fs.Create(th, "dir/b")
+	ls := fs.List(th, "dir")
+	if len(ls) != 2 || ls[0] != "a" {
+		t.Fatalf("list %v", ls)
+	}
+	if err := fs.Rename(th, "dir/a", "dir/c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(th, "dir/a"); err == nil {
+		t.Fatal("renamed-away stat succeeded")
+	}
+	if err := fs.Unlink(th, "dir/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(th, "dir/c"); err == nil {
+		t.Fatal("double unlink succeeded")
+	}
+	if err := fs.Mkdir(th, "dir"); err == nil {
+		t.Fatal("double mkdir succeeded")
+	}
+	if fs.Files() != 2 { // dir + b
+		t.Fatalf("files %d", fs.Files())
+	}
+}
+
+func TestKFSFsyncCostsDeviceWrite(t *testing.T) {
+	prof, _ := KFSProfileFor("ext4")
+	fs := NewKFS(prof, device.New("d", device.NVMe, 1<<30), vtime.Default())
+	th := NewThread(0)
+	fs.Create(th, "f")
+	before := th.Now()
+	if err := fs.Fsync(th, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if th.Now().Sub(before) < NVMeWriteFloor() {
+		t.Fatalf("fsync too cheap: %v", th.Now().Sub(before))
+	}
+}
+
+// NVMeWriteFloor is the minimum modeled time of a 4KB NVMe write.
+func NVMeWriteFloor() vtime.Duration {
+	return device.NVMeProfile.AccessLatency
+}
+
+func TestKFSProfileForUnknown(t *testing.T) {
+	if _, err := KFSProfileFor("zfs"); err == nil {
+		t.Fatal("unknown fs accepted")
+	}
+}
+
+func TestThreadAccounting(t *testing.T) {
+	th := NewThread(3)
+	th.Charge(100)
+	if th.CPU != 100 || th.Now() != 100 {
+		t.Fatal("charge")
+	}
+	th.WaitUntil(500)
+	if th.CPU != 100 || th.Now() != 500 {
+		t.Fatal("wait must not bill CPU")
+	}
+	if th.Core != 3 {
+		t.Fatal("core")
+	}
+}

@@ -1,0 +1,392 @@
+package kernel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"labstor/internal/device"
+	"labstor/internal/vtime"
+)
+
+// KFSProfile parameterizes a kernel filesystem model. The profiles capture
+// what matters for the paper's comparisons: journal commit cost per
+// metadata op and the lock granularity that throttles concurrent metadata
+// operations (kernel filesystems "use locking in order to ensure the
+// correctness of their data structures" and therefore scale poorly —
+// Fig. 7).
+type KFSProfile struct {
+	Name string
+	// JournalShards is the number of independent journal/transaction locks
+	// (1 = a single serializing journal as in ext4's jbd2).
+	JournalShards int
+	// DirShards is the number of independent directory/namespace locks.
+	DirShards int
+	// JournalFactor scales the journal commit cost.
+	JournalFactor float64
+	// CreateExtra is additional per-create CPU (inode+bitmap allocation).
+	CreateExtra vtime.Duration
+}
+
+// Kernel filesystem profiles.
+var (
+	// Ext4Profile: single jbd2 journal, per-directory mutex — the most
+	// serialized of the three.
+	Ext4Profile = KFSProfile{Name: "ext4", JournalShards: 1, DirShards: 1, JournalFactor: 1.0}
+	// XFSProfile: per-AG locking gives some metadata concurrency.
+	XFSProfile = KFSProfile{Name: "xfs", JournalShards: 4, DirShards: 4, JournalFactor: 1.15}
+	// F2FSProfile: log-structured, but NAT/node locks still serialize.
+	F2FSProfile = KFSProfile{Name: "f2fs", JournalShards: 2, DirShards: 2, JournalFactor: 0.9}
+)
+
+// KFSProfileFor returns the profile with the given name.
+func KFSProfileFor(name string) (KFSProfile, error) {
+	switch strings.ToLower(name) {
+	case "ext4":
+		return Ext4Profile, nil
+	case "xfs":
+		return XFSProfile, nil
+	case "f2fs":
+		return F2FSProfile, nil
+	default:
+		return KFSProfile{}, fmt.Errorf("kernel: unknown filesystem %q", name)
+	}
+}
+
+// kfile is one file's metadata + block map in the kernel FS.
+type kfile struct {
+	path   string
+	isDir  bool
+	size   int64
+	blocks map[int64]int64
+}
+
+// KFS is a functional, simplified kernel filesystem: data really lands on
+// the device; metadata operations serialize on the profile's journal and
+// directory locks and pay syscall/VFS/journal costs in virtual time.
+type KFS struct {
+	Profile KFSProfile
+
+	model *vtime.CostModel
+	dev   *device.Device
+
+	blockSize int
+
+	mu      sync.Mutex
+	files   map[string]*kfile
+	nextBlk int64
+
+	journalLocks []vtime.Lock
+	dirLocks     []vtime.Lock
+
+	creates int64
+}
+
+// NewKFS creates a kernel filesystem over a device.
+func NewKFS(profile KFSProfile, dev *device.Device, m *vtime.CostModel) *KFS {
+	return &KFS{
+		Profile:      profile,
+		model:        m,
+		dev:          dev,
+		blockSize:    4096,
+		files:        make(map[string]*kfile),
+		nextBlk:      1024, // leave room for the superblock/journal area
+		journalLocks: make([]vtime.Lock, profile.JournalShards),
+		dirLocks:     make([]vtime.Lock, profile.DirShards),
+	}
+}
+
+func (fs *KFS) shardOf(path string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(dirOf(path)))
+	return int(h.Sum32()) % n
+}
+
+func dirOf(path string) string {
+	if i := strings.LastIndex(path, "/"); i > 0 {
+		return path[:i]
+	}
+	return "/"
+}
+
+// chargeMetaOp models one journaled metadata operation: syscall + VFS entry,
+// directory-lock serialization, journal transaction serialization.
+func (fs *KFS) chargeMetaOp(t *Thread, path string) {
+	m := fs.model
+	t.Charge(m.ModeSwitch + m.VFSOverhead)
+	// Directory lock: serialize with other ops in the same directory shard.
+	dl := &fs.dirLocks[fs.shardOf(path, len(fs.dirLocks))]
+	release := dl.Acquire(t.Now(), m.KFSDirLockHold)
+	t.WaitUntil(release.Add(-m.KFSDirLockHold))
+	t.Charge(m.KFSDirLockHold)
+	// Journal transaction.
+	jl := &fs.journalLocks[fs.shardOf(path, len(fs.journalLocks))]
+	hold := vtime.Duration(float64(m.KFSJournalCommit) * fs.Profile.JournalFactor)
+	jrelease := jl.Acquire(t.Now(), hold)
+	t.WaitUntil(jrelease.Add(-hold))
+	t.Charge(hold + fs.Profile.CreateExtra + m.KFSInodeAlloc)
+}
+
+// Create makes a new file.
+func (fs *KFS) Create(t *Thread, path string) error {
+	fs.chargeMetaOp(t, path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; ok {
+		return nil // POSIX open(O_CREAT) on existing file succeeds
+	}
+	fs.files[path] = &kfile{path: path, blocks: make(map[int64]int64)}
+	fs.creates++
+	return nil
+}
+
+// Mkdir makes a directory.
+func (fs *KFS) Mkdir(t *Thread, path string) error {
+	fs.chargeMetaOp(t, path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; ok {
+		return fmt.Errorf("kfs: %q exists", path)
+	}
+	fs.files[path] = &kfile{path: path, isDir: true, blocks: make(map[int64]int64)}
+	return nil
+}
+
+// Unlink removes a file.
+func (fs *KFS) Unlink(t *Thread, path string) error {
+	fs.chargeMetaOp(t, path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("kfs: %q does not exist", path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// Rename moves a file.
+func (fs *KFS) Rename(t *Thread, from, to string) error {
+	fs.chargeMetaOp(t, from)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[from]
+	if !ok {
+		return fmt.Errorf("kfs: %q does not exist", from)
+	}
+	delete(fs.files, from)
+	f.path = to
+	fs.files[to] = f
+	return nil
+}
+
+// Stat returns the file size.
+func (fs *KFS) Stat(t *Thread, path string) (int64, error) {
+	t.Charge(fs.model.ModeSwitch + fs.model.VFSOverhead)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("kfs: %q does not exist", path)
+	}
+	return f.size, nil
+}
+
+// List returns the immediate children of dir.
+func (fs *KFS) List(t *Thread, dir string) []string {
+	t.Charge(fs.model.ModeSwitch + fs.model.VFSOverhead)
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	seen := map[string]bool{}
+	for p := range fs.files {
+		if !strings.HasPrefix(p, prefix) || p == dir {
+			continue
+		}
+		rest := strings.TrimPrefix(p, prefix)
+		if i := strings.Index(rest, "/"); i >= 0 {
+			rest = rest[:i]
+		}
+		if rest != "" {
+			seen[rest] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Write writes data at off, creating the file if needed (O_CREAT).
+func (fs *KFS) Write(t *Thread, path string, off int64, data []byte) error {
+	m := fs.model
+	// Syscall + VFS + page-cache copy + block layer per block span.
+	t.Charge(m.ModeSwitch + m.VFSOverhead + m.Copy(len(data)))
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	if !ok {
+		fs.mu.Unlock()
+		if err := fs.Create(t, path); err != nil {
+			return err
+		}
+		fs.mu.Lock()
+		f = fs.files[path]
+	}
+	bs := int64(fs.blockSize)
+	type span struct {
+		phys    int64
+		inBlock int
+		lo, hi  int
+	}
+	var spans []span
+	written := 0
+	for written < len(data) {
+		idx := (off + int64(written)) / bs
+		inBlock := int((off + int64(written)) % bs)
+		n := fs.blockSize - inBlock
+		if n > len(data)-written {
+			n = len(data) - written
+		}
+		phys, have := f.blocks[idx]
+		if !have {
+			phys = fs.nextBlk
+			fs.nextBlk++
+			f.blocks[idx] = phys
+		}
+		spans = append(spans, span{phys: phys, inBlock: inBlock, lo: written, hi: written + n})
+		written += n
+	}
+	if end := off + int64(len(data)); end > f.size {
+		f.size = end
+	}
+	fs.mu.Unlock()
+
+	base := t.Now()
+	var maxEnd vtime.Time
+	for _, s := range spans {
+		t.Charge(m.BlockLayerAlloc + m.KernelSchedOverhead)
+		buf := make([]byte, fs.blockSize)
+		if s.inBlock != 0 || s.hi-s.lo != fs.blockSize {
+			if _, err := fs.dev.ReadAt(buf, s.phys*bs); err != nil {
+				return err
+			}
+		}
+		copy(buf[s.inBlock:], data[s.lo:s.hi])
+		_, end, err := fs.dev.SubmitToQueue(t.Core%fs.dev.HardwareQueues(), device.Write, s.phys*bs, buf, base)
+		if err != nil {
+			return err
+		}
+		if end > maxEnd {
+			maxEnd = end
+		}
+	}
+	t.WaitUntil(maxEnd)
+	t.Charge(m.InterruptWakeup)
+	return nil
+}
+
+// Read fills buf from the file at off, returning bytes read.
+func (fs *KFS) Read(t *Thread, path string, off int64, buf []byte) (int, error) {
+	m := fs.model
+	t.Charge(m.ModeSwitch + m.VFSOverhead + m.Copy(len(buf)))
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	if !ok {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("kfs: %q does not exist", path)
+	}
+	want := int64(len(buf))
+	if off >= f.size {
+		fs.mu.Unlock()
+		return 0, nil
+	}
+	if off+want > f.size {
+		want = f.size - off
+	}
+	bs := int64(fs.blockSize)
+	type span struct {
+		phys    int64
+		have    bool
+		inBlock int
+		lo, hi  int64
+	}
+	var spans []span
+	read := int64(0)
+	for read < want {
+		idx := (off + read) / bs
+		inBlock := int((off + read) % bs)
+		n := int64(fs.blockSize - inBlock)
+		if n > want-read {
+			n = want - read
+		}
+		phys, have := f.blocks[idx]
+		spans = append(spans, span{phys: phys, have: have, inBlock: inBlock, lo: read, hi: read + n})
+		read += n
+	}
+	fs.mu.Unlock()
+
+	base := t.Now()
+	var maxEnd vtime.Time
+	for _, s := range spans {
+		if !s.have {
+			for i := s.lo; i < s.hi; i++ {
+				buf[i] = 0
+			}
+			continue
+		}
+		t.Charge(m.BlockLayerAlloc + m.KernelSchedOverhead)
+		block := make([]byte, fs.blockSize)
+		_, end, err := fs.dev.SubmitToQueue(t.Core%fs.dev.HardwareQueues(), device.Read, s.phys*bs, block, base)
+		if err != nil {
+			return 0, err
+		}
+		if end > maxEnd {
+			maxEnd = end
+		}
+		copy(buf[s.lo:s.hi], block[s.inBlock:s.inBlock+int(s.hi-s.lo)])
+	}
+	t.WaitUntil(maxEnd)
+	t.Charge(m.InterruptWakeup)
+	return int(read), nil
+}
+
+// Fsync flushes: journal transaction serialization, then the commit record
+// must reach the device (the synchronous wait that makes fsync-heavy
+// workloads expensive on journaling filesystems).
+func (fs *KFS) Fsync(t *Thread, path string) error {
+	m := fs.model
+	t.Charge(m.ModeSwitch)
+	jl := &fs.journalLocks[fs.shardOf(path, len(fs.journalLocks))]
+	hold := vtime.Duration(float64(m.KFSJournalCommit) * fs.Profile.JournalFactor)
+	release := jl.Acquire(t.Now(), hold)
+	t.WaitUntil(release)
+	// Commit record write + flush barrier.
+	fs.mu.Lock()
+	commitBlk := fs.nextBlk % 1024 // rotate within the journal area
+	fs.mu.Unlock()
+	buf := make([]byte, fs.blockSize)
+	_, end, err := fs.dev.SubmitToQueue(t.Core%fs.dev.HardwareQueues(), device.Write, commitBlk*int64(fs.blockSize), buf, t.Now())
+	if err != nil {
+		return err
+	}
+	t.WaitUntil(end)
+	t.Charge(m.InterruptWakeup)
+	return nil
+}
+
+// Creates returns the create-op counter.
+func (fs *KFS) Creates() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.creates
+}
+
+// Files returns the file count.
+func (fs *KFS) Files() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.files)
+}

@@ -1,0 +1,44 @@
+// Package kernel simulates the Linux I/O stack that LabStor is evaluated
+// against: the syscall boundary, VFS, page cache, block layer with MQ
+// dispatch, interrupt-driven completion, the kernel's storage APIs (POSIX
+// sync I/O, POSIX AIO, libaio, io_uring), in-kernel I/O schedulers (noop
+// and blk-switch), and simplified-but-functional kernel filesystems
+// (ext4/XFS/F2FS models) whose locking reproduces the metadata-scaling
+// behaviour the paper measures.
+//
+// Everything is functional — bytes land on the simulated device — and the
+// software path costs are charged in virtual time from the shared cost
+// model, so the kernel baselines and the LabStor stacks are compared under
+// one consistent accounting.
+package kernel
+
+import (
+	"labstor/internal/vtime"
+)
+
+// Thread models one application thread performing I/O: it owns a virtual
+// clock (its position on the timeline) and a core number (used by
+// core-keyed queue mapping).
+type Thread struct {
+	Clock vtime.Clock
+	Core  int
+	// CPU accumulates the thread's charged CPU time (distinct from time
+	// blocked waiting on devices).
+	CPU vtime.Duration
+}
+
+// NewThread returns a thread pinned to the given core.
+func NewThread(core int) *Thread { return &Thread{Core: core} }
+
+// Charge advances the thread's clock by a CPU cost.
+func (t *Thread) Charge(d vtime.Duration) {
+	t.Clock.Advance(d)
+	t.CPU += d
+}
+
+// WaitUntil advances the thread's clock to at least tm (blocking wait — not
+// CPU).
+func (t *Thread) WaitUntil(tm vtime.Time) { t.Clock.AdvanceTo(tm) }
+
+// Now returns the thread's current virtual time.
+func (t *Thread) Now() vtime.Time { return t.Clock.Now() }

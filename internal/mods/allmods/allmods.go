@@ -1,0 +1,18 @@
+// Package allmods registers every LabMod that ships with the platform.
+// Importing it (for side effects) is the equivalent of mounting the default
+// LabMod repo: all module types become instantiable by name.
+package allmods
+
+import (
+	_ "labstor/internal/mods/compressmod"
+	_ "labstor/internal/mods/consistency"
+	_ "labstor/internal/mods/driver"
+	_ "labstor/internal/mods/dummy"
+	_ "labstor/internal/mods/generic"
+	_ "labstor/internal/mods/iosched"
+	_ "labstor/internal/mods/labfs"
+	_ "labstor/internal/mods/labkvs"
+	_ "labstor/internal/mods/lru"
+	_ "labstor/internal/mods/perm"
+	_ "labstor/internal/mods/readahead"
+)

@@ -1,0 +1,196 @@
+// Package compressmod implements the transparent compression LabMod — the
+// paper's "Active Storage" example: data is compressed before it is
+// persisted and decompressed on the way back, without application changes.
+//
+// Each compressed block is framed as [1-byte flag][4-byte big-endian
+// payload length][payload]. Blocks that do not shrink are stored raw
+// (flag 0) so the module never inflates storage beyond the frame header.
+package compressmod
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"labstor/internal/core"
+	"labstor/internal/vtime"
+)
+
+// Type is the registered module type name.
+const Type = "labstor.compress"
+
+func init() {
+	core.RegisterType(Type, func() core.Module { return &Compressor{} })
+}
+
+const (
+	frameHeader = 5
+	flagRaw     = 0
+	flagDeflate = 1
+)
+
+// Compressor is the compression module instance.
+type Compressor struct {
+	core.Base
+	level int
+
+	mu         sync.Mutex
+	bytesIn    int64
+	bytesOut   int64
+	compressed int64
+}
+
+// Info describes the module.
+func (c *Compressor) Info() core.ModuleInfo {
+	return core.ModuleInfo{Type: Type, Version: "1.0", Consumes: core.APIBlock, Produces: core.APIBlock}
+}
+
+// Configure reads the compression level (attr "level", default 1 = fastest).
+func (c *Compressor) Configure(cfg core.Config, env *core.Env) error {
+	if err := c.Base.Configure(cfg, env); err != nil {
+		return err
+	}
+	lvl, err := strconv.Atoi(cfg.Attr("level", "1"))
+	if err != nil || lvl < flate.HuffmanOnly || lvl > flate.BestCompression {
+		return fmt.Errorf("compressmod: bad level attribute %q", cfg.Attr("level", "1"))
+	}
+	c.level = lvl
+	return nil
+}
+
+// Process compresses write payloads and decompresses read results.
+func (c *Compressor) Process(e *core.Exec, req *core.Request) error {
+	switch req.Op {
+	case core.OpBlockWrite, core.OpWrite, core.OpAppend, core.OpPut:
+		return c.processWrite(e, req)
+	case core.OpBlockRead, core.OpRead, core.OpGet:
+		return c.processRead(e, req)
+	default:
+		return e.Next(req)
+	}
+}
+
+func (c *Compressor) processWrite(e *core.Exec, req *core.Request) error {
+	orig := req.Data
+	req.Charge("compress", e.Model.Compress(len(orig)))
+
+	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHeader))
+	w, err := flate.NewWriter(&buf, c.level)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(orig); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	framed := buf.Bytes()
+	if buf.Len()-frameHeader >= len(orig) {
+		// Incompressible: store raw.
+		framed = make([]byte, frameHeader+len(orig))
+		framed[0] = flagRaw
+		binary.BigEndian.PutUint32(framed[1:frameHeader], uint32(len(orig)))
+		copy(framed[frameHeader:], orig)
+	} else {
+		framed[0] = flagDeflate
+		binary.BigEndian.PutUint32(framed[1:frameHeader], uint32(buf.Len()-frameHeader))
+	}
+
+	c.mu.Lock()
+	c.bytesIn += int64(len(orig))
+	c.bytesOut += int64(len(framed))
+	c.compressed++
+	c.mu.Unlock()
+
+	req.Data = framed
+	req.Size = len(framed)
+	err = e.Next(req)
+	// Restore the caller's view of the payload.
+	req.Data = orig
+	req.Size = len(orig)
+	if err == nil {
+		req.Result = int64(len(orig))
+	}
+	return err
+}
+
+func (c *Compressor) processRead(e *core.Exec, req *core.Request) error {
+	want := req.Size
+	dst := req.Data
+	// Read the full frame region downstream. The frame is at most
+	// header + original size (raw fallback guarantee).
+	frame := make([]byte, frameHeader+want)
+	req.Data = frame
+	req.Size = len(frame)
+	err := e.Next(req)
+	req.Data = dst
+	req.Size = want
+	if err != nil {
+		return err
+	}
+	flag := frame[0]
+	n := int(binary.BigEndian.Uint32(frame[1:frameHeader]))
+	if n < 0 || n > len(frame)-frameHeader {
+		return fmt.Errorf("compressmod: corrupt frame at offset %d (len %d)", req.Offset, n)
+	}
+	payload := frame[frameHeader : frameHeader+n]
+
+	var out []byte
+	switch flag {
+	case flagRaw:
+		out = payload
+	case flagDeflate:
+		req.Charge("decompress", e.Model.Compress(want)/2)
+		r := flate.NewReader(bytes.NewReader(payload))
+		out, err = io.ReadAll(r)
+		if err != nil {
+			return fmt.Errorf("compressmod: decompress at offset %d: %w", req.Offset, err)
+		}
+	default:
+		return fmt.Errorf("compressmod: unknown frame flag %d at offset %d", flag, req.Offset)
+	}
+	if req.Data == nil {
+		req.Data = make([]byte, want)
+	}
+	copied := copy(req.Data, out)
+	req.Result = int64(copied)
+	return nil
+}
+
+// Ratio returns the achieved compression ratio (input/output bytes).
+func (c *Compressor) Ratio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bytesOut == 0 {
+		return 1
+	}
+	return float64(c.bytesIn) / float64(c.bytesOut)
+}
+
+// StateUpdate carries counters across a live upgrade.
+func (c *Compressor) StateUpdate(prev core.Module) error {
+	if old, ok := prev.(*Compressor); ok {
+		old.mu.Lock()
+		defer old.mu.Unlock()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.bytesIn, c.bytesOut, c.compressed = old.bytesIn, old.bytesOut, old.compressed
+	}
+	return nil
+}
+
+// EstProcessingTime estimates compression CPU cost — large writes through
+// this module are "computational" requests for the Work Orchestrator.
+func (c *Compressor) EstProcessingTime(op core.Op, size int) vtime.Duration {
+	if op.IsWrite() {
+		return c.Env.Model.Compress(size)
+	}
+	return c.Env.Model.Compress(size) / 2
+}

@@ -1,0 +1,100 @@
+package consistency_test
+
+import (
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/mods/consistency"
+	"labstor/internal/mods/driver"
+	"labstor/internal/mods/modtest"
+)
+
+func mountGuard(t *testing.T, h *modtest.Harness, level, interval string) (*core.Stack, *consistency.Guard) {
+	attrs := map[string]string{"level": level}
+	if interval != "" {
+		attrs["interval"] = interval
+	}
+	s := h.Mount(t, "blk::/"+level,
+		modtest.ChainVertex{UUID: "guard-" + level, Type: consistency.Type, Attrs: attrs},
+		modtest.ChainVertex{UUID: "drv-" + level, Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"}},
+	)
+	m, _ := h.Registry.Get("guard-" + level)
+	return s, m.(*consistency.Guard)
+}
+
+func TestStrictFlushesEveryWrite(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 16<<20)
+	s, g := mountGuard(t, h, "strict", "")
+	buf := make([]byte, 4096)
+	for i := 0; i < 5; i++ {
+		if err := h.Run(t, s, modtest.BlockWriteReq(int64(i)*4096, buf)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Flushes() != 5 {
+		t.Fatalf("strict flushes = %d", g.Flushes())
+	}
+}
+
+func TestOrderedFlushesEveryN(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 16<<20)
+	s, g := mountGuard(t, h, "ordered", "4")
+	buf := make([]byte, 4096)
+	for i := 0; i < 10; i++ {
+		h.Run(t, s, modtest.BlockWriteReq(int64(i)*4096, buf))
+	}
+	if g.Flushes() != 2 { // at writes 4 and 8
+		t.Fatalf("ordered flushes = %d", g.Flushes())
+	}
+}
+
+func TestRelaxedNeverFlushes(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 16<<20)
+	s, g := mountGuard(t, h, "relaxed", "")
+	buf := make([]byte, 4096)
+	for i := 0; i < 10; i++ {
+		h.Run(t, s, modtest.BlockWriteReq(int64(i)*4096, buf))
+	}
+	if g.Flushes() != 0 {
+		t.Fatalf("relaxed flushes = %d", g.Flushes())
+	}
+}
+
+func TestReadsNeverFlush(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 16<<20)
+	s, g := mountGuard(t, h, "strict", "")
+	h.Run(t, s, modtest.BlockReadReq(0, 4096))
+	if g.Flushes() != 0 {
+		t.Fatal("read triggered a flush")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 16<<20)
+	g := &consistency.Guard{}
+	if err := g.Configure(core.Config{Attrs: map[string]string{"level": "chaotic"}}, h.Env); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if err := g.Configure(core.Config{Attrs: map[string]string{"level": "ordered", "interval": "0"}}, h.Env); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestPendingCounterSurvivesUpgrade(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 16<<20)
+	s, _ := mountGuard(t, h, "ordered", "4")
+	buf := make([]byte, 4096)
+	for i := 0; i < 3; i++ { // 3 pending, next flush after 1 more
+		h.Run(t, s, modtest.BlockWriteReq(int64(i)*4096, buf))
+	}
+	next := &consistency.Guard{}
+	next.Configure(core.Config{UUID: "guard-ordered", Attrs: map[string]string{"level": "ordered", "interval": "4"}}, h.Env)
+	if err := h.Registry.Swap("guard-ordered", next); err != nil {
+		t.Fatal(err)
+	}
+	h.Run(t, s, modtest.BlockWriteReq(4*4096, buf))
+	if next.Flushes() != 1 {
+		t.Fatalf("flush cadence lost across upgrade: %d", next.Flushes())
+	}
+}

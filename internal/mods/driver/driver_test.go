@@ -1,0 +1,238 @@
+package driver_test
+
+import (
+	"bytes"
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/mods/driver"
+	"labstor/internal/mods/modtest"
+)
+
+func TestKernelDriverRoundTrip(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := h.Mount(t, "blk::/kd", modtest.ChainVertex{
+		UUID: "drv", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"},
+	})
+	data := []byte("kernel driver payload")
+	w := modtest.BlockWriteReq(8192, data)
+	if err := h.Run(t, s, w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Result != int64(len(data)) {
+		t.Fatalf("result %d", w.Result)
+	}
+	r := modtest.BlockReadReq(8192, len(data))
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Data, data) {
+		t.Fatal("mismatch")
+	}
+	if r.Latency() <= 0 {
+		t.Fatal("no modeled latency")
+	}
+}
+
+func TestSPDKFasterThanKernelDriver(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	kd := h.Mount(t, "blk::/kd", modtest.ChainVertex{
+		UUID: "kd", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"},
+	})
+	sp := h.Mount(t, "blk::/spdk", modtest.ChainVertex{
+		UUID: "spdk", Type: driver.SPDKType, Attrs: map[string]string{"device": "dev0"},
+	})
+	buf := make([]byte, 4096)
+	w1 := modtest.BlockWriteReq(0, buf)
+	w1.Hctx = 1
+	h.Run(t, kd, w1)
+	w2 := modtest.BlockWriteReq(8192, buf)
+	w2.Hctx = 2
+	h.Run(t, sp, w2)
+	if w2.CPUTime >= w1.CPUTime {
+		t.Fatalf("SPDK CPU (%v) must undercut kernel driver (%v)", w2.CPUTime, w1.CPUTime)
+	}
+}
+
+func TestDAXRequiresByteAddressable(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	m, err := core.NewModule(driver.DAXType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Configure(core.Config{UUID: "dax", Attrs: map[string]string{"device": "dev0"}}, h.Env); err == nil {
+		t.Fatal("DAX configured over NVMe")
+	}
+}
+
+func TestDAXRoundTripOnPMEM(t *testing.T) {
+	h := modtest.New(t, device.PMEM, 64<<20)
+	s := h.Mount(t, "blk::/dax", modtest.ChainVertex{
+		UUID: "dax", Type: driver.DAXType, Attrs: map[string]string{"device": "dev0"},
+	})
+	data := []byte("byte addressable")
+	if err := h.Run(t, s, modtest.BlockWriteReq(100, data)); err != nil {
+		t.Fatal(err) // unaligned offsets are fine: DAX is byte-addressable
+	}
+	r := modtest.BlockReadReq(100, len(data))
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Data, data) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestDriverFlushAndDiscard(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := h.Mount(t, "blk::/kd", modtest.ChainVertex{
+		UUID: "drv", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"},
+	})
+	fl := core.NewRequest(core.OpBlockFlush)
+	if err := h.Run(t, s, fl); err != nil {
+		t.Fatal(err)
+	}
+	// Discard returns a written range to zeros.
+	h.Run(t, s, modtest.BlockWriteReq(0, bytes.Repeat([]byte{0xFF}, 128<<10)))
+	disc := core.NewRequest(core.OpBlockDiscard)
+	disc.Offset = 0
+	disc.Size = 128 << 10
+	if err := h.Run(t, s, disc); err != nil {
+		t.Fatal(err)
+	}
+	r := modtest.BlockReadReq(64<<10, 16)
+	h.Run(t, s, r)
+	for _, b := range r.Data {
+		if b != 0 {
+			t.Fatal("discard did not zero")
+		}
+	}
+}
+
+func TestDriverRejectsUnknownOps(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := h.Mount(t, "blk::/kd", modtest.ChainVertex{
+		UUID: "drv", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"},
+	})
+	bad := core.NewRequest(core.OpRename)
+	if err := h.Run(t, s, bad); err == nil {
+		t.Fatal("rename handled by a block driver")
+	}
+}
+
+func TestDriverMissingDeviceAttr(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	for _, typ := range []string{driver.KernelDriverType, driver.SPDKType, driver.DAXType} {
+		m, _ := core.NewModule(typ)
+		if err := m.Configure(core.Config{UUID: "x"}, h.Env); err == nil {
+			t.Fatalf("%s configured without device", typ)
+		}
+	}
+}
+
+func TestDriverReadAllocatesBuffer(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := h.Mount(t, "blk::/kd", modtest.ChainVertex{
+		UUID: "drv", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"},
+	})
+	r := core.NewRequest(core.OpBlockRead) // no Data buffer provided
+	r.Offset = 0
+	r.Size = 512
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Value) != 512 {
+		t.Fatalf("driver did not allocate: %d", len(r.Value))
+	}
+}
+
+func TestSPDKFlushDiscardAndReadAlloc(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := h.Mount(t, "blk::/spdk", modtest.ChainVertex{
+		UUID: "spdk", Type: driver.SPDKType, Attrs: map[string]string{"device": "dev0"},
+	})
+	if err := h.Run(t, s, core.NewRequest(core.OpBlockFlush)); err != nil {
+		t.Fatal(err)
+	}
+	h.Run(t, s, modtest.BlockWriteReq(0, bytes.Repeat([]byte{1}, 128<<10)))
+	disc := core.NewRequest(core.OpBlockDiscard)
+	disc.Size = 128 << 10
+	if err := h.Run(t, s, disc); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRequest(core.OpBlockRead)
+	r.Size = 256
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Value) != 256 {
+		t.Fatal("spdk read alloc")
+	}
+	if err := h.Run(t, s, core.NewRequest(core.OpRename)); err == nil {
+		t.Fatal("spdk handled rename")
+	}
+	m, _ := h.Registry.Get("spdk")
+	if err := m.StateRepair(); err != nil {
+		t.Fatal(err)
+	}
+	if m.EstProcessingTime(core.OpBlockWrite, 4096) <= 0 {
+		t.Fatal("est")
+	}
+}
+
+func TestDAXFlushDiscardAndReadAlloc(t *testing.T) {
+	h := modtest.New(t, device.PMEM, 64<<20)
+	s := h.Mount(t, "blk::/dax", modtest.ChainVertex{
+		UUID: "dax", Type: driver.DAXType, Attrs: map[string]string{"device": "dev0"},
+	})
+	if err := h.Run(t, s, core.NewRequest(core.OpBlockFlush)); err != nil {
+		t.Fatal(err)
+	}
+	h.Run(t, s, modtest.BlockWriteReq(0, bytes.Repeat([]byte{1}, 64<<10)))
+	disc := core.NewRequest(core.OpBlockDiscard)
+	disc.Size = 64 << 10
+	if err := h.Run(t, s, disc); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRequest(core.OpBlockRead)
+	r.Size = 64
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Value) != 64 {
+		t.Fatal("dax read alloc")
+	}
+	if err := h.Run(t, s, core.NewRequest(core.OpRename)); err == nil {
+		t.Fatal("dax handled rename")
+	}
+	m, _ := h.Registry.Get("dax")
+	if err := m.StateRepair(); err != nil {
+		t.Fatal(err)
+	}
+	if m.EstProcessingTime(core.OpBlockRead, 4096) <= 0 {
+		t.Fatal("est")
+	}
+}
+
+func TestKernelDriverEst(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	h.Mount(t, "blk::/kd", modtest.ChainVertex{
+		UUID: "drv", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"},
+	})
+	m, _ := h.Registry.Get("drv")
+	if m.EstProcessingTime(core.OpBlockWrite, 4096) <= 0 {
+		t.Fatal("est")
+	}
+}
+
+func TestDriverStateRepair(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	h.Mount(t, "blk::/kd", modtest.ChainVertex{
+		UUID: "drv", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"},
+	})
+	m, _ := h.Registry.Get("drv")
+	if err := m.StateRepair(); err != nil {
+		t.Fatal(err)
+	}
+}

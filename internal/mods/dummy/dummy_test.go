@@ -1,0 +1,86 @@
+package dummy_test
+
+import (
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/mods/dummy"
+	"labstor/internal/mods/modtest"
+)
+
+func TestDummyCountsMessages(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := h.Mount(t, "msg::/d", modtest.ChainVertex{UUID: "d", Type: dummy.Type})
+	for i := 1; i <= 5; i++ {
+		r := core.NewRequest(core.OpMessage)
+		if err := h.Run(t, s, r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Result != int64(i) {
+			t.Fatalf("message %d result %d", i, r.Result)
+		}
+	}
+	m, _ := h.Registry.Get("d")
+	if m.(*dummy.Dummy).Messages() != 5 {
+		t.Fatal("counter")
+	}
+}
+
+func TestDummyForwardsWhenChained(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := h.Mount(t, "msg::/chain",
+		modtest.ChainVertex{UUID: "d1", Type: dummy.Type},
+		modtest.ChainVertex{UUID: "d2", Type: dummy.Type},
+	)
+	r := core.NewRequest(core.OpMessage)
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := h.Registry.Get("d2")
+	if m2.(*dummy.Dummy).Messages() != 1 {
+		t.Fatal("chained dummy not reached")
+	}
+}
+
+func TestDummyStateTransfer(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := h.Mount(t, "msg::/d", modtest.ChainVertex{UUID: "d", Type: dummy.Type})
+	for i := 0; i < 3; i++ {
+		h.Run(t, s, core.NewRequest(core.OpMessage))
+	}
+	next := &dummy.Dummy{}
+	next.Configure(core.Config{UUID: "d"}, h.Env)
+	if err := h.Registry.Swap("d", next); err != nil {
+		t.Fatal(err)
+	}
+	if next.Messages() != 3 {
+		t.Fatalf("state not transferred: %d", next.Messages())
+	}
+	r := core.NewRequest(core.OpMessage)
+	h.Run(t, s, r)
+	if r.Result != 4 {
+		t.Fatalf("counter continuity: %d", r.Result)
+	}
+}
+
+func TestDummyRepairCounter(t *testing.T) {
+	d := &dummy.Dummy{}
+	d.StateRepair()
+	d.StateRepair()
+	if d.Repairs() != 2 {
+		t.Fatal("repairs")
+	}
+}
+
+func TestDummyConfigurableCost(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := h.Mount(t, "msg::/d", modtest.ChainVertex{
+		UUID: "d", Type: dummy.Type, Attrs: map[string]string{"cost_ns": "5000"},
+	})
+	r := core.NewRequest(core.OpMessage)
+	h.Run(t, s, r)
+	if r.CPUTime < 5000 {
+		t.Fatalf("configured cost not charged: %v", r.CPUTime)
+	}
+}

@@ -1,0 +1,171 @@
+package generic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/mods/driver"
+	_ "labstor/internal/mods/dummy"
+	"labstor/internal/mods/generic"
+	"labstor/internal/mods/labfs"
+	"labstor/internal/mods/modtest"
+)
+
+func mountGenFS(t *testing.T, h *modtest.Harness) *core.Stack {
+	return h.Mount(t, "fs::/g",
+		modtest.ChainVertex{UUID: "gen", Type: generic.FSType},
+		modtest.ChainVertex{UUID: "fs", Type: labfs.Type, Attrs: map[string]string{"device": "dev0", "log_mb": "2"}},
+		modtest.ChainVertex{UUID: "drv", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"}},
+	)
+}
+
+func genInstance(t *testing.T, h *modtest.Harness) *generic.GenericFS {
+	m, _ := h.Registry.Get("gen")
+	return m.(*generic.GenericFS)
+}
+
+func TestFDLifecycle(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountGenFS(t, h)
+	g := genInstance(t, h)
+
+	// Open allocates a descriptor >= 3.
+	cr := core.NewRequest(core.OpCreate)
+	cr.Path = "f.txt"
+	if err := h.Run(t, s, cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.FD < 3 {
+		t.Fatalf("fd %d", cr.FD)
+	}
+	if g.OpenFDs() != 1 {
+		t.Fatalf("open fds %d", g.OpenFDs())
+	}
+
+	// fd-based write (no Path on the request — GenericFS resolves it).
+	w := core.NewRequest(core.OpWrite)
+	w.FD = cr.FD
+	w.Offset = -1 // cursor-relative
+	w.Data = []byte("hello ")
+	w.Size = 6
+	if err := h.Run(t, s, w); err != nil {
+		t.Fatal(err)
+	}
+	w2 := core.NewRequest(core.OpWrite)
+	w2.FD = cr.FD
+	w2.Offset = -1
+	w2.Data = []byte("world")
+	w2.Size = 5
+	if err := h.Run(t, s, w2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cursor advanced: sequential writes concatenated.
+	r := core.NewRequest(core.OpRead)
+	r.FD = cr.FD
+	r.Offset = 0
+	r.Size = 11
+	r.Data = make([]byte, 11)
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data[:r.Result]) != "hello world" {
+		t.Fatalf("cursor I/O produced %q", r.Data[:r.Result])
+	}
+
+	// Close releases the descriptor.
+	cl := core.NewRequest(core.OpClose)
+	cl.FD = cr.FD
+	if err := h.Run(t, s, cl); err != nil {
+		t.Fatal(err)
+	}
+	if g.OpenFDs() != 0 {
+		t.Fatal("fd leaked after close")
+	}
+}
+
+func TestBadFD(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountGenFS(t, h)
+	w := core.NewRequest(core.OpWrite)
+	w.FD = 999
+	w.Data = []byte("x")
+	w.Size = 1
+	if err := h.Run(t, s, w); err == nil {
+		t.Fatal("write to bad fd succeeded")
+	}
+}
+
+func TestPathOpsPassThrough(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountGenFS(t, h)
+	if err := h.Run(t, s, modtest.WriteReq("direct.txt", 0, []byte("path-addressed"))); err != nil {
+		t.Fatal(err)
+	}
+	r := modtest.ReadReq("direct.txt", 0, 14)
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Data[:r.Result], []byte("path-addressed")) {
+		t.Fatal("path-addressed I/O broken")
+	}
+}
+
+func TestCopyFDsToCloneSupport(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountGenFS(t, h)
+	g := genInstance(t, h)
+	cr := core.NewRequest(core.OpCreate)
+	cr.Path = "shared.txt"
+	h.Run(t, s, cr)
+
+	// "clone": a second GenericFS instance receives the open descriptors.
+	child := &generic.GenericFS{}
+	child.Configure(core.Config{UUID: "gen-child"}, h.Env)
+	g.CopyFDsTo(child)
+	if child.OpenFDs() != 1 {
+		t.Fatalf("child fds %d", child.OpenFDs())
+	}
+}
+
+func TestStateUpdateKeepsFDs(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountGenFS(t, h)
+	cr := core.NewRequest(core.OpCreate)
+	cr.Path = "live.txt"
+	h.Run(t, s, cr)
+
+	next := &generic.GenericFS{}
+	next.Configure(core.Config{UUID: "gen"}, h.Env)
+	if err := h.Registry.Swap("gen", next); err != nil {
+		t.Fatal(err)
+	}
+	// The open descriptor still works after the upgrade.
+	w := core.NewRequest(core.OpWrite)
+	w.FD = cr.FD
+	w.Offset = 0
+	w.Data = []byte("still open")
+	w.Size = 10
+	if err := h.Run(t, s, w); err != nil {
+		t.Fatalf("fd dead after upgrade: %v", err)
+	}
+}
+
+func TestGenericKVSValidation(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := h.Mount(t, "kv::/g",
+		modtest.ChainVertex{UUID: "gkv", Type: generic.KVSType},
+		modtest.ChainVertex{UUID: "sink", Type: "labstor.dummy"},
+	)
+	r := core.NewRequest(core.OpGet) // empty key
+	if err := h.Run(t, s, r); err == nil {
+		t.Fatal("empty key passed validation")
+	}
+	ok := core.NewRequest(core.OpGet)
+	ok.Key = "k"
+	if err := h.Run(t, s, ok); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package iosched_test
+
+import (
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/mods/driver"
+	"labstor/internal/mods/iosched"
+	"labstor/internal/mods/modtest"
+)
+
+func mountSched(t *testing.T, h *modtest.Harness, mount, schedType string) *core.Stack {
+	return h.Mount(t, mount,
+		modtest.ChainVertex{UUID: mount + "/s", Type: schedType, Attrs: map[string]string{"device": "dev0"}},
+		modtest.ChainVertex{UUID: mount + "/d", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"}},
+	)
+}
+
+func TestNoOpKeysByOriginCore(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountSched(t, h, "blk::/noop", iosched.NoOpType)
+	buf := make([]byte, 4096)
+	for core_ := 0; core_ < 5; core_++ {
+		req := modtest.BlockWriteReq(int64(core_)*4096, buf)
+		req.OriginCore = core_
+		if err := h.Run(t, s, req); err != nil {
+			t.Fatal(err)
+		}
+		if req.Hctx != core_%h.Dev.HardwareQueues() {
+			t.Fatalf("core %d mapped to hctx %d", core_, req.Hctx)
+		}
+	}
+}
+
+func TestNoOpWithoutDeviceUsesRawCore(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := h.Mount(t, "blk::/n",
+		modtest.ChainVertex{UUID: "n", Type: iosched.NoOpType},
+		modtest.ChainVertex{UUID: "d", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"}},
+	)
+	req := modtest.BlockWriteReq(0, make([]byte, 512))
+	req.OriginCore = 7
+	if err := h.Run(t, s, req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Hctx != 7 {
+		t.Fatalf("hctx %d", req.Hctx)
+	}
+}
+
+func TestBlkSwitchSteersSmallAwayFromLoad(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 256<<20)
+	s := mountSched(t, h, "blk::/blk", iosched.BlkSwitchType)
+
+	// Load hctx 0 with large writes from core 0.
+	big := make([]byte, 64<<10)
+	for i := 0; i < 8; i++ {
+		req := modtest.BlockWriteReq(int64(i)*(64<<10), big)
+		req.OriginCore = 0
+		if err := h.Run(t, s, req); err != nil {
+			t.Fatal(err)
+		}
+		if req.Hctx != 0 {
+			t.Fatalf("large request steered away from its core: hctx %d", req.Hctx)
+		}
+	}
+	// A small request from core 0 must escape the loaded queue.
+	small := modtest.BlockWriteReq(1<<20, make([]byte, 4096))
+	small.OriginCore = 0
+	if err := h.Run(t, s, small); err != nil {
+		t.Fatal(err)
+	}
+	if small.Hctx == 0 {
+		t.Fatal("latency-critical request stuck behind the loaded queue")
+	}
+}
+
+func TestBlkSwitchPrefersOwnIdleQueue(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountSched(t, h, "blk::/blk", iosched.BlkSwitchType)
+	req := modtest.BlockWriteReq(0, make([]byte, 4096))
+	req.OriginCore = 5
+	if err := h.Run(t, s, req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Hctx != 5 {
+		t.Fatalf("idle own queue not preferred: hctx %d", req.Hctx)
+	}
+}
+
+func TestBlkSwitchRequiresDevice(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	m, _ := core.NewModule(iosched.BlkSwitchType)
+	if err := m.Configure(core.Config{UUID: "b"}, h.Env); err == nil {
+		t.Fatal("blkswitch configured without device")
+	}
+}
+
+func TestSchedulersCostOrdering(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	noop := mountSched(t, h, "blk::/noop", iosched.NoOpType)
+	blk := mountSched(t, h, "blk::/blk", iosched.BlkSwitchType)
+	a := modtest.BlockWriteReq(0, make([]byte, 4096))
+	b := modtest.BlockWriteReq(8192, make([]byte, 4096))
+	b.OriginCore = 1
+	h.Run(t, noop, a)
+	h.Run(t, blk, b)
+	if a.CPUTime >= b.CPUTime {
+		t.Fatalf("noop (%v) must be cheaper than blk-switch (%v)", a.CPUTime, b.CPUTime)
+	}
+}
+
+func TestBlkSwitchStateRepair(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	mountSched(t, h, "blk::/blk", iosched.BlkSwitchType)
+	m, _ := h.Registry.Get("blk::/blk/s")
+	if err := m.StateRepair(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package labfs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"labstor/internal/core"
+)
+
+// Log op kinds.
+const (
+	logCreate   = "create"
+	logMkdir    = "mkdir"
+	logUnlink   = "unlink"
+	logRmdir    = "rmdir"
+	logRename   = "rename"
+	logTruncate = "truncate"
+	logExtent   = "extent"
+	logSetSize  = "setsize"
+)
+
+// logEntry is one record of LabFS's per-worker metadata log. LabFS stores
+// only the log on the device and reconstructs all inodes in memory by
+// traversing it (paper §III-E). Entries are JSON lines packed into log
+// blocks — self-describing and crash-parseable.
+type logEntry struct {
+	Seq   uint64 `json:"s"`
+	Op    string `json:"o"`
+	Path  string `json:"p,omitempty"`
+	Path2 string `json:"q,omitempty"`
+	Mode  uint32 `json:"m,omitempty"`
+	UID   int    `json:"u,omitempty"`
+	GID   int    `json:"g,omitempty"`
+	// Extent fields: file block index -> physical block.
+	BlockIdx int64 `json:"b,omitempty"`
+	Phys     int64 `json:"f,omitempty"`
+	Size     int64 `json:"z,omitempty"`
+}
+
+// metaLog buffers metadata log entries and persists them into the log
+// region of the device via downstream block writes.
+type metaLog struct {
+	mu        sync.Mutex
+	blockSize int
+	logBlocks int64 // log region: blocks [0, logBlocks)
+	head      int64 // next log block to fill
+	buf       []byte
+	seq       uint64
+	dirty     bool
+}
+
+func newMetaLog(blockSize int, logBlocks int64) *metaLog {
+	return &metaLog{blockSize: blockSize, logBlocks: logBlocks}
+}
+
+// Append records an entry in the buffer, flushing full blocks downstream.
+// The device write happens under the log mutex: a concurrent Flush or
+// Append must not write an older view of a block over a newer one.
+func (l *metaLog) Append(e *core.Exec, parent *core.Request, ent logEntry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ent.Seq = l.seq
+	line, err := json.Marshal(ent)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if len(line) >= l.blockSize {
+		return fmt.Errorf("labfs: log entry exceeds block size (%d bytes)", len(line))
+	}
+	if len(l.buf)+len(line) > l.blockSize {
+		// Current block is full: persist it and advance the head.
+		full := pad(l.buf, l.blockSize)
+		fullAt := l.head
+		l.head++
+		l.buf = nil
+		if err := l.writeBlock(e, parent, fullAt, full); err != nil {
+			return err
+		}
+	}
+	l.buf = append(l.buf, line...)
+	l.dirty = true
+	if l.head >= l.logBlocks {
+		return fmt.Errorf("labfs: metadata log region full (%d blocks); checkpoint required", l.logBlocks)
+	}
+	return nil
+}
+
+// Flush persists the current partial block (fsync / close / unmount path).
+func (l *metaLog) Flush(e *core.Exec, parent *core.Request) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.dirty {
+		return nil
+	}
+	blk := pad(l.buf, l.blockSize)
+	at := l.head
+	if err := l.writeBlock(e, parent, at, blk); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+func (l *metaLog) writeBlock(e *core.Exec, parent *core.Request, blockNo int64, data []byte) error {
+	child := parent.Child(core.OpBlockWrite)
+	child.Offset = blockNo * int64(l.blockSize)
+	child.Size = len(data)
+	child.Data = data
+	return e.SpawnNext(parent, child)
+}
+
+// Reset clears the log state (before checkpoint or replay).
+func (l *metaLog) Reset() {
+	l.mu.Lock()
+	l.head = 0
+	l.buf = nil
+	l.dirty = false
+	l.mu.Unlock()
+}
+
+// Entries returns the current sequence counter.
+func (l *metaLog) Entries() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Replay reads the log region downstream and returns the decoded entries in
+// order. The scan stops at the first block that holds no entries.
+func (l *metaLog) Replay(e *core.Exec, parent *core.Request) ([]logEntry, error) {
+	var entries []logEntry
+	var lastUsed int64 = -1
+	for b := int64(0); b < l.logBlocks; b++ {
+		child := parent.Child(core.OpBlockRead)
+		child.Offset = b * int64(l.blockSize)
+		child.Size = l.blockSize
+		child.Data = make([]byte, l.blockSize)
+		if err := e.SpawnNext(parent, child); err != nil {
+			return nil, err
+		}
+		data := child.Data
+		if len(data) == 0 || data[0] == 0 {
+			break
+		}
+		lastUsed = b
+		for _, line := range bytes.Split(data, []byte{'\n'}) {
+			line = bytes.TrimRight(line, "\x00")
+			if len(line) == 0 {
+				continue
+			}
+			var ent logEntry
+			if err := json.Unmarshal(line, &ent); err != nil {
+				// Torn tail of the last block: stop at the first corrupt
+				// line (crash-consistency: entries are atomic lines).
+				return entries, nil
+			}
+			entries = append(entries, ent)
+		}
+	}
+	// Resume appending after the last used block.
+	l.mu.Lock()
+	l.head = lastUsed + 1
+	l.buf = nil
+	l.dirty = false
+	if n := uint64(len(entries)); n > l.seq {
+		l.seq = n
+	}
+	for _, ent := range entries {
+		if ent.Seq > l.seq {
+			l.seq = ent.Seq
+		}
+	}
+	l.mu.Unlock()
+	return entries, nil
+}
+
+func pad(b []byte, size int) []byte {
+	out := make([]byte, size)
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,486 @@
+// Package labkvs implements LabKVS, the paper's example key-value store
+// LabMod (§III-E). LabKVS is designed like LabFS — per-worker block
+// allocation, a metadata log, an in-memory sharded index — but exposes a
+// put/get/remove API that creates keys and stores data in a *single*
+// operation, as opposed to the open-modify-close sequence POSIX requires.
+// That single-hop data path is the source of the Fig. 9(b) gains.
+package labkvs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"labstor/internal/core"
+	"labstor/internal/vtime"
+)
+
+// Type is the registered module type name.
+const Type = "labstor.labkvs"
+
+func init() {
+	core.RegisterType(Type, func() core.Module { return &LabKVS{} })
+}
+
+// ErrNoKey is returned for lookups of absent keys.
+var ErrNoKey = errors.New("labkvs: no such key")
+
+// record is the in-memory index entry for one key.
+type record struct {
+	Key    string  `json:"k"`
+	Size   int     `json:"z"`
+	Blocks []int64 `json:"b"`
+	Owner  int     `json:"u,omitempty"`
+	Dead   bool    `json:"d,omitempty"` // tombstone (log only)
+}
+
+type kvShard struct {
+	mu    sync.RWMutex
+	vlock vtime.Lock
+	recs  map[string]*record
+}
+
+// LabKVS is the key-value store module instance.
+type LabKVS struct {
+	core.Base
+
+	blockSize int
+	logBlocks int64
+	dataFirst int64
+
+	shards []kvShard
+
+	allocMu sync.Mutex
+	free    []int64
+
+	logMu   sync.Mutex
+	logBuf  []byte
+	logHead int64
+
+	needReplay bool
+	replayMu   sync.Mutex
+
+	puts atomic64
+	gets atomic64
+	dels atomic64
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) inc() { a.mu.Lock(); a.v++; a.mu.Unlock() }
+func (a *atomic64) get() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+// Info describes the module.
+func (k *LabKVS) Info() core.ModuleInfo {
+	return core.ModuleInfo{Type: Type, Version: "1.0", Consumes: core.APIKV, Produces: core.APIBlock}
+}
+
+// Configure reads geometry: device (required), block_kb (default 4),
+// log_mb (default 8), shards (default 64), replay ("true" to rebuild from
+// the device log).
+func (k *LabKVS) Configure(cfg core.Config, env *core.Env) error {
+	if err := k.Base.Configure(cfg, env); err != nil {
+		return err
+	}
+	devName := cfg.Attr("device", "")
+	if devName == "" {
+		return fmt.Errorf("labkvs: vertex %q needs a 'device' attribute", cfg.UUID)
+	}
+	dev, err := env.Device(devName)
+	if err != nil {
+		return err
+	}
+	blockKB, _ := strconv.Atoi(cfg.Attr("block_kb", "4"))
+	if blockKB < 1 {
+		blockKB = 4
+	}
+	k.blockSize = blockKB << 10
+	logMB, _ := strconv.Atoi(cfg.Attr("log_mb", "8"))
+	if logMB < 1 {
+		logMB = 8
+	}
+	k.logBlocks = int64(logMB<<20) / int64(k.blockSize)
+	total := dev.Capacity() / int64(k.blockSize)
+	if total <= k.logBlocks {
+		return fmt.Errorf("labkvs: device %q too small", devName)
+	}
+	k.dataFirst = k.logBlocks
+	nShards, _ := strconv.Atoi(cfg.Attr("shards", "64"))
+	if nShards < 1 {
+		nShards = 1
+	}
+	k.shards = make([]kvShard, nShards)
+	for i := range k.shards {
+		k.shards[i].recs = make(map[string]*record)
+	}
+	k.free = make([]int64, 0, total-k.logBlocks)
+	for b := total - 1; b >= k.dataFirst; b-- {
+		k.free = append(k.free, b)
+	}
+	k.needReplay = cfg.Attr("replay", "false") == "true"
+	return nil
+}
+
+func (k *LabKVS) shard(key string) *kvShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &k.shards[int(h.Sum32())%len(k.shards)]
+}
+
+func (k *LabKVS) allocBlocks(n int) ([]int64, error) {
+	k.allocMu.Lock()
+	defer k.allocMu.Unlock()
+	if len(k.free) < n {
+		return nil, fmt.Errorf("labkvs: device full")
+	}
+	out := k.free[len(k.free)-n:]
+	blocks := make([]int64, n)
+	copy(blocks, out)
+	k.free = k.free[:len(k.free)-n]
+	return blocks, nil
+}
+
+func (k *LabKVS) freeBlocks(bs []int64) {
+	k.allocMu.Lock()
+	k.free = append(k.free, bs...)
+	k.allocMu.Unlock()
+}
+
+// Process dispatches a key-value request.
+func (k *LabKVS) Process(e *core.Exec, req *core.Request) error {
+	if err := k.maybeReplay(e, req); err != nil {
+		return err
+	}
+	switch req.Op {
+	case core.OpPut:
+		return k.put(e, req)
+	case core.OpGet:
+		return k.get(e, req)
+	case core.OpDel:
+		return k.del(e, req)
+	case core.OpHas:
+		return k.has(req)
+	case core.OpReaddir: // scan: list keys with prefix req.Path
+		return k.scan(req)
+	case core.OpFsync:
+		return k.flushLog(e, req)
+	default:
+		return fmt.Errorf("labkvs: %w: %s", core.ErrNotSupported, req.Op)
+	}
+}
+
+func (k *LabKVS) chargeMeta(e *core.Exec, req *core.Request, key string) {
+	m := e.Model
+	hold := m.LabFSShardLockHold
+	release := k.shard(key).vlock.Acquire(req.Clock, hold)
+	req.AdvanceTo(release.Add(-hold))
+	req.Charge("kv_meta", m.FSMetadata+hold)
+}
+
+func (k *LabKVS) put(e *core.Exec, req *core.Request) error {
+	k.chargeMeta(e, req, req.Key)
+	data := req.Data
+	nBlocks := (len(data) + k.blockSize - 1) / k.blockSize
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	blocks, err := k.allocBlocks(nBlocks)
+	if err != nil {
+		req.Err = err
+		return err
+	}
+	base := req.Clock
+	for i, phys := range blocks {
+		child := req.Child(core.OpBlockWrite)
+		child.Clock = base
+		child.Offset = phys * int64(k.blockSize)
+		lo := i * k.blockSize
+		hi := lo + k.blockSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		buf := make([]byte, k.blockSize)
+		copy(buf, data[lo:hi])
+		child.Size = k.blockSize
+		child.Data = buf
+		if err := e.Next(child); err != nil {
+			return err
+		}
+		req.Absorb(child)
+	}
+
+	sh := k.shard(req.Key)
+	sh.mu.Lock()
+	old := sh.recs[req.Key]
+	rec := &record{Key: req.Key, Size: len(data), Blocks: blocks, Owner: req.Cred.UID}
+	sh.recs[req.Key] = rec
+	sh.mu.Unlock()
+	if old != nil {
+		k.freeBlocks(old.Blocks)
+	}
+	if err := k.logAppend(e, req, rec); err != nil {
+		return err
+	}
+	k.puts.inc()
+	req.Result = int64(len(data))
+	return nil
+}
+
+func (k *LabKVS) get(e *core.Exec, req *core.Request) error {
+	k.chargeMeta(e, req, req.Key)
+	sh := k.shard(req.Key)
+	sh.mu.RLock()
+	rec, ok := sh.recs[req.Key]
+	sh.mu.RUnlock()
+	if !ok {
+		req.Err = fmt.Errorf("%w: %q", ErrNoKey, req.Key)
+		return req.Err
+	}
+	out := make([]byte, rec.Size)
+	base := req.Clock
+	for i, phys := range rec.Blocks {
+		child := req.Child(core.OpBlockRead)
+		child.Clock = base
+		child.Offset = phys * int64(k.blockSize)
+		child.Size = k.blockSize
+		buf := make([]byte, k.blockSize)
+		child.Data = buf
+		if err := e.Next(child); err != nil {
+			return err
+		}
+		req.Absorb(child)
+		lo := i * k.blockSize
+		hi := lo + k.blockSize
+		if hi > rec.Size {
+			hi = rec.Size
+		}
+		copy(out[lo:hi], buf[:hi-lo])
+	}
+	req.Value = out
+	req.Result = int64(rec.Size)
+	k.gets.inc()
+	return nil
+}
+
+func (k *LabKVS) del(e *core.Exec, req *core.Request) error {
+	k.chargeMeta(e, req, req.Key)
+	sh := k.shard(req.Key)
+	sh.mu.Lock()
+	rec, ok := sh.recs[req.Key]
+	if ok {
+		delete(sh.recs, req.Key)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		req.Err = fmt.Errorf("%w: %q", ErrNoKey, req.Key)
+		return req.Err
+	}
+	k.freeBlocks(rec.Blocks)
+	k.dels.inc()
+	return k.logAppend(e, req, &record{Key: req.Key, Dead: true})
+}
+
+func (k *LabKVS) has(req *core.Request) error {
+	sh := k.shard(req.Key)
+	sh.mu.RLock()
+	_, ok := sh.recs[req.Key]
+	sh.mu.RUnlock()
+	if ok {
+		req.Result = 1
+	}
+	return nil
+}
+
+func (k *LabKVS) scan(req *core.Request) error {
+	var keys []string
+	for i := range k.shards {
+		sh := &k.shards[i]
+		sh.mu.RLock()
+		for key := range sh.recs {
+			if req.Path == "" || strings.HasPrefix(key, req.Path) {
+				keys = append(keys, key)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	req.Names = keys
+	req.Result = int64(len(keys))
+	return nil
+}
+
+// --- log ----------------------------------------------------------------------
+
+func (k *LabKVS) logAppend(e *core.Exec, req *core.Request, rec *record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	k.logMu.Lock()
+	var full []byte
+	var at int64 = -1
+	if len(k.logBuf)+len(line) > k.blockSize {
+		full = make([]byte, k.blockSize)
+		copy(full, k.logBuf)
+		at = k.logHead
+		k.logHead++
+		if k.logHead >= k.logBlocks {
+			k.logHead = 0 // wrap: index rebuild tests keep logs small
+		}
+		k.logBuf = nil
+	}
+	k.logBuf = append(k.logBuf, line...)
+	k.logMu.Unlock()
+	if full != nil {
+		child := req.Child(core.OpBlockWrite)
+		child.Offset = at * int64(k.blockSize)
+		child.Size = len(full)
+		child.Data = full
+		return e.SpawnNext(req, child)
+	}
+	return nil
+}
+
+func (k *LabKVS) flushLog(e *core.Exec, req *core.Request) error {
+	k.logMu.Lock()
+	blk := make([]byte, k.blockSize)
+	copy(blk, k.logBuf)
+	at := k.logHead
+	k.logMu.Unlock()
+	child := req.Child(core.OpBlockWrite)
+	child.Offset = at * int64(k.blockSize)
+	child.Size = len(blk)
+	child.Data = blk
+	return e.SpawnNext(req, child)
+}
+
+func (k *LabKVS) maybeReplay(e *core.Exec, req *core.Request) error {
+	k.replayMu.Lock()
+	defer k.replayMu.Unlock()
+	if !k.needReplay {
+		return nil
+	}
+	k.needReplay = false
+	used := make(map[int64]bool)
+	for b := int64(0); b < k.logBlocks; b++ {
+		child := req.Child(core.OpBlockRead)
+		child.Offset = b * int64(k.blockSize)
+		child.Size = k.blockSize
+		child.Data = make([]byte, k.blockSize)
+		if err := e.SpawnNext(req, child); err != nil {
+			return err
+		}
+		if child.Data[0] == 0 {
+			break
+		}
+		k.logHead = b + 1
+		for _, line := range strings.Split(strings.TrimRight(string(child.Data), "\x00"), "\n") {
+			if line == "" {
+				continue
+			}
+			var rec record
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				continue // torn tail
+			}
+			sh := k.shard(rec.Key)
+			sh.mu.Lock()
+			if rec.Dead {
+				if old, ok := sh.recs[rec.Key]; ok {
+					for _, blk := range old.Blocks {
+						delete(used, blk)
+					}
+					delete(sh.recs, rec.Key)
+				}
+			} else {
+				r := rec
+				sh.recs[rec.Key] = &r
+				for _, blk := range rec.Blocks {
+					used[blk] = true
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+	// Rebuild the free list.
+	k.allocMu.Lock()
+	k.free = k.free[:0]
+	maxBlock := k.dataFirst + int64(cap(k.free))
+	_ = maxBlock
+	k.allocMu.Unlock()
+	total := int64(0)
+	if dev, err := k.Env.Device(k.Cfg.Attr("device", "")); err == nil {
+		total = dev.Capacity() / int64(k.blockSize)
+	}
+	k.allocMu.Lock()
+	for b := total - 1; b >= k.dataFirst; b-- {
+		if !used[b] {
+			k.free = append(k.free, b)
+		}
+	}
+	k.allocMu.Unlock()
+	return nil
+}
+
+// --- lifecycle ----------------------------------------------------------------
+
+// Keys returns the number of live keys.
+func (k *LabKVS) Keys() int {
+	n := 0
+	for i := range k.shards {
+		sh := &k.shards[i]
+		sh.mu.RLock()
+		n += len(sh.recs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats returns op counters.
+func (k *LabKVS) Stats() (puts, gets, dels int64) {
+	return k.puts.get(), k.gets.get(), k.dels.get()
+}
+
+// StateUpdate adopts the previous instance's index, free list and log.
+func (k *LabKVS) StateUpdate(prev core.Module) error {
+	old, ok := prev.(*LabKVS)
+	if !ok {
+		return nil
+	}
+	k.shards = old.shards
+	k.free = old.free
+	k.logBuf = old.logBuf
+	k.logHead = old.logHead
+	k.blockSize = old.blockSize
+	k.logBlocks = old.logBlocks
+	k.dataFirst = old.dataFirst
+	k.needReplay = false
+	return nil
+}
+
+// StateRepair schedules an index rebuild from the device log.
+func (k *LabKVS) StateRepair() error {
+	k.replayMu.Lock()
+	k.needReplay = true
+	k.replayMu.Unlock()
+	return nil
+}
+
+// EstProcessingTime classifies LabKVS ops.
+func (k *LabKVS) EstProcessingTime(op core.Op, size int) vtime.Duration {
+	m := k.Env.Model
+	blocks := vtime.Duration(size/k.blockSize + 1)
+	return m.FSMetadata + blocks*m.LabFSShardLockHold
+}

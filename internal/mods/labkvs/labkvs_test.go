@@ -1,0 +1,238 @@
+package labkvs_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/mods/driver"
+	_ "labstor/internal/mods/generic"
+	"labstor/internal/mods/labkvs"
+	"labstor/internal/mods/modtest"
+)
+
+func mountKVS(t *testing.T, h *modtest.Harness) *core.Stack {
+	return h.Mount(t, "kv::/k",
+		modtest.ChainVertex{UUID: "kvs", Type: labkvs.Type, Attrs: map[string]string{"device": "dev0", "log_mb": "2"}},
+		modtest.ChainVertex{UUID: "drv", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"}},
+	)
+}
+
+func kvsInstance(t *testing.T, h *modtest.Harness) *labkvs.LabKVS {
+	m, _ := h.Registry.Get("kvs")
+	return m.(*labkvs.LabKVS)
+}
+
+func put(t *testing.T, h *modtest.Harness, s *core.Stack, key string, val []byte) error {
+	r := core.NewRequest(core.OpPut)
+	r.Key = key
+	r.Size = len(val)
+	r.Data = val
+	return h.Run(t, s, r)
+}
+
+func get(t *testing.T, h *modtest.Harness, s *core.Stack, key string) ([]byte, error) {
+	r := core.NewRequest(core.OpGet)
+	r.Key = key
+	if err := h.Run(t, s, r); err != nil {
+		return nil, err
+	}
+	return r.Value, nil
+}
+
+func TestPutGetDelHas(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	val := bytes.Repeat([]byte("v"), 10000) // multi-block value
+	if err := put(t, h, s, "k1", val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := get(t, h, s, "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatal("value mismatch")
+	}
+	has := core.NewRequest(core.OpHas)
+	has.Key = "k1"
+	h.Run(t, s, has)
+	if has.Result != 1 {
+		t.Fatal("has")
+	}
+	del := core.NewRequest(core.OpDel)
+	del.Key = "k1"
+	if err := h.Run(t, s, del); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := get(t, h, s, "k1"); err == nil {
+		t.Fatal("get after delete succeeded")
+	}
+	del2 := core.NewRequest(core.OpDel)
+	del2.Key = "k1"
+	if err := h.Run(t, s, del2); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestOverwriteReclaimsBlocks(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	kv := kvsInstance(t, h)
+	put(t, h, s, "k", make([]byte, 40960))
+	put(t, h, s, "k", []byte("tiny"))
+	if kv.Keys() != 1 {
+		t.Fatal("keys")
+	}
+	got, _ := get(t, h, s, "k")
+	if string(got) != "tiny" {
+		t.Fatalf("overwrite value %q", got)
+	}
+	// After freeing the old 10 blocks, we can still fill most of the store.
+	puts, gets, dels := kv.Stats()
+	if puts != 2 || gets != 1 || dels != 0 {
+		t.Fatalf("stats %d/%d/%d", puts, gets, dels)
+	}
+}
+
+func TestScanWithPrefix(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	for _, k := range []string{"a/1", "a/2", "b/1"} {
+		put(t, h, s, k, []byte("x"))
+	}
+	sc := core.NewRequest(core.OpReaddir)
+	sc.Path = "a/"
+	h.Run(t, s, sc)
+	if len(sc.Names) != 2 || sc.Names[0] != "a/1" {
+		t.Fatalf("scan %v", sc.Names)
+	}
+	all := core.NewRequest(core.OpReaddir)
+	h.Run(t, s, all)
+	if len(all.Names) != 3 {
+		t.Fatalf("scan all %v", all.Names)
+	}
+}
+
+func TestEmptyKeyRejectedViaGeneric(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := h.Mount(t, "kv::/g",
+		modtest.ChainVertex{UUID: "gen", Type: "labstor.generickvs"},
+		modtest.ChainVertex{UUID: "kvs2", Type: labkvs.Type, Attrs: map[string]string{"device": "dev0", "log_mb": "2"}},
+		modtest.ChainVertex{UUID: "drv2", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"}},
+	)
+	r := core.NewRequest(core.OpPut)
+	r.Data = []byte("x")
+	r.Size = 1
+	if err := h.Run(t, s, r); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestReplayRebuildsIndex(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	vals := map[string][]byte{}
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		v := bytes.Repeat([]byte{byte(i + 1)}, 1000+i*97)
+		put(t, h, s, k, v)
+		vals[k] = v
+	}
+	// Delete some.
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		del := core.NewRequest(core.OpDel)
+		del.Key = k
+		h.Run(t, s, del)
+		delete(vals, k)
+	}
+	// Flush the KVS log.
+	fl := core.NewRequest(core.OpFsync)
+	if err := h.Run(t, s, fl); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold restart: fresh instance with replay.
+	fresh := &labkvs.LabKVS{}
+	if err := fresh.Configure(core.Config{UUID: "kvs", Attrs: map[string]string{
+		"device": "dev0", "log_mb": "2", "replay": "true",
+	}}, h.Env); err != nil {
+		t.Fatal(err)
+	}
+	h.Registry.Register("kvs", fresh)
+
+	for k, want := range vals {
+		got, err := get(t, h, s, k)
+		if err != nil {
+			t.Fatalf("get %s after replay: %v", k, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("replayed value mismatch for %s", k)
+		}
+	}
+	if _, err := get(t, h, s, "key-00"); err == nil {
+		t.Fatal("deleted key resurrected")
+	}
+	if fresh.Keys() != len(vals) {
+		t.Fatalf("replayed %d keys, want %d", fresh.Keys(), len(vals))
+	}
+}
+
+func TestStateUpdatePreservesIndex(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	put(t, h, s, "persist", []byte("me"))
+	next := &labkvs.LabKVS{}
+	next.Configure(core.Config{UUID: "kvs", Attrs: map[string]string{"device": "dev0", "log_mb": "2"}}, h.Env)
+	if err := h.Registry.Swap("kvs", next); err != nil {
+		t.Fatal(err)
+	}
+	got, err := get(t, h, s, "persist")
+	if err != nil || string(got) != "me" {
+		t.Fatalf("after upgrade: %q %v", got, err)
+	}
+}
+
+func TestQuickPutGetModel(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 128<<20)
+	s := mountKVS(t, h)
+	model := map[string][]byte{}
+	rng := rand.New(rand.NewSource(5))
+	f := func(keyByte uint8, val []byte) bool {
+		key := fmt.Sprintf("k%d", keyByte%16)
+		if len(val) == 0 || rng.Intn(4) == 0 {
+			// Delete path.
+			del := core.NewRequest(core.OpDel)
+			del.Key = key
+			err := h.Run(t, s, del)
+			_, existed := model[key]
+			delete(model, key)
+			return (err == nil) == existed
+		}
+		if put(t, h, s, key, val) != nil {
+			return false
+		}
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		model[key] = cp
+		got, err := get(t, h, s, key)
+		return err == nil && bytes.Equal(got, model[key])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsupportedOp(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	r := core.NewRequest(core.OpRename)
+	if err := h.Run(t, s, r); err == nil {
+		t.Fatal("rename on a KVS succeeded")
+	}
+}

@@ -1,0 +1,142 @@
+package perm_test
+
+import (
+	"errors"
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	_ "labstor/internal/mods/dummy"
+	"labstor/internal/mods/modtest"
+	"labstor/internal/mods/perm"
+)
+
+func mountPerm(t *testing.T, h *modtest.Harness, attrs map[string]string) *core.Stack {
+	return h.Mount(t, "any::/p",
+		modtest.ChainVertex{UUID: "perm", Type: perm.Type, Attrs: attrs},
+		modtest.ChainVertex{UUID: "sink", Type: "labstor.dummy"},
+	)
+}
+
+func reqAs(op core.Op, path string, uid, gid int) *core.Request {
+	r := core.NewRequest(op)
+	r.Path = path
+	r.Cred = core.Cred{UID: uid, GID: gid}
+	return r
+}
+
+func TestOwnerGroupOtherBits(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := mountPerm(t, h, map[string]string{"owner": "100", "group": "200", "mode": "0640"})
+
+	// Owner: read+write.
+	if err := h.Run(t, s, reqAs(core.OpWrite, "f", 100, 0)); err != nil {
+		t.Fatalf("owner write denied: %v", err)
+	}
+	// Group: read only.
+	if err := h.Run(t, s, reqAs(core.OpRead, "f", 300, 200)); err != nil {
+		t.Fatalf("group read denied: %v", err)
+	}
+	if err := h.Run(t, s, reqAs(core.OpWrite, "f", 300, 200)); !errors.Is(err, perm.ErrPermission) {
+		t.Fatalf("group write allowed: %v", err)
+	}
+	// Other: nothing.
+	if err := h.Run(t, s, reqAs(core.OpRead, "f", 999, 999)); !errors.Is(err, perm.ErrPermission) {
+		t.Fatalf("other read allowed: %v", err)
+	}
+}
+
+func TestRootAlwaysOwner(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := mountPerm(t, h, map[string]string{"owner": "100", "mode": "0600"})
+	if err := h.Run(t, s, reqAs(core.OpWrite, "f", 0, 0)); err != nil {
+		t.Fatalf("root denied: %v", err)
+	}
+}
+
+func TestMetadataOpsNeedWrite(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := mountPerm(t, h, map[string]string{"owner": "1", "mode": "0644"})
+	for _, op := range []core.Op{core.OpCreate, core.OpUnlink, core.OpRename, core.OpMkdir, core.OpTruncate, core.OpDel} {
+		if err := h.Run(t, s, reqAs(op, "f", 555, 555)); !errors.Is(err, perm.ErrPermission) {
+			t.Errorf("%s by other allowed: %v", op, err)
+		}
+	}
+	// Reads allowed for other under 0644.
+	for _, op := range []core.Op{core.OpRead, core.OpStat, core.OpGet} {
+		if err := h.Run(t, s, reqAs(op, "f", 555, 555)); err != nil {
+			t.Errorf("%s by other denied: %v", op, err)
+		}
+	}
+}
+
+func TestACLPrefixRules(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := mountPerm(t, h, map[string]string{
+		"mode": "0666",
+		"acl":  "secret/:42:42:0600;shared/:0:0:0666",
+	})
+	// Default world-writable.
+	if err := h.Run(t, s, reqAs(core.OpWrite, "public/x", 7, 7)); err != nil {
+		t.Fatalf("default denied: %v", err)
+	}
+	// secret/ restricted to uid 42.
+	if err := h.Run(t, s, reqAs(core.OpRead, "secret/k", 7, 7)); !errors.Is(err, perm.ErrPermission) {
+		t.Fatalf("secret readable by other: %v", err)
+	}
+	if err := h.Run(t, s, reqAs(core.OpWrite, "secret/k", 42, 42)); err != nil {
+		t.Fatalf("secret denied to its owner: %v", err)
+	}
+	// shared/ world-writable again.
+	if err := h.Run(t, s, reqAs(core.OpWrite, "shared/k", 7, 7)); err != nil {
+		t.Fatalf("shared denied: %v", err)
+	}
+}
+
+func TestCountersAndStateUpdate(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := mountPerm(t, h, map[string]string{"owner": "1", "mode": "0600"})
+	h.Run(t, s, reqAs(core.OpRead, "f", 1, 1))
+	h.Run(t, s, reqAs(core.OpRead, "f", 2, 2)) // denied
+	m, _ := h.Registry.Get("perm")
+	checked, denied := m.(*perm.Checker).Stats()
+	if checked != 2 || denied != 1 {
+		t.Fatalf("counters %d/%d", checked, denied)
+	}
+	// Counters survive a live upgrade.
+	next := &perm.Checker{}
+	if err := next.Configure(core.Config{UUID: "perm", Attrs: map[string]string{"owner": "1", "mode": "0600"}}, h.Env); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Registry.Swap("perm", next); err != nil {
+		t.Fatal(err)
+	}
+	c2, d2 := next.Stats()
+	if c2 != 2 || d2 != 1 {
+		t.Fatalf("counters lost in upgrade: %d/%d", c2, d2)
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	p := &perm.Checker{}
+	if err := p.Configure(core.Config{Attrs: map[string]string{"mode": "xyz"}}, h.Env); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if err := p.Configure(core.Config{Attrs: map[string]string{"acl": "too:few"}}, h.Env); err == nil {
+		t.Fatal("bad acl accepted")
+	}
+	if err := p.Configure(core.Config{Attrs: map[string]string{"acl": "p:1:1:zz"}}, h.Env); err == nil {
+		t.Fatal("bad acl mode accepted")
+	}
+}
+
+func TestPermChargesCost(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 1<<20)
+	s := mountPerm(t, h, nil)
+	r := reqAs(core.OpRead, "f", 0, 0)
+	h.Run(t, s, r)
+	if r.CPUTime < h.Env.Model.PermCheck {
+		t.Fatal("permission check not charged")
+	}
+}

@@ -1,0 +1,220 @@
+// Package pfs implements a minimal striped parallel filesystem in the
+// OrangeFS deployment shape the paper evaluates (Fig. 9a): a dedicated
+// metadata server (MDS) that tracks stripe placement, and a set of data
+// servers that store stripes. The MDS runs over a pluggable *local* I/O
+// stack — a simulated kernel filesystem or a LabStor stack — which is
+// exactly the variable the experiment isolates: "the I/O stacks used
+// locally on each storage node must be optimized to improve performance of
+// the distributed layer".
+//
+// Data servers are plain simulated devices: the data path is identical
+// across configurations, so any difference between runs comes from the
+// metadata server's local stack.
+package pfs
+
+import (
+	"fmt"
+	"sync"
+
+	"labstor/internal/device"
+	"labstor/internal/vtime"
+	"labstor/internal/workload"
+)
+
+// Options configures the PFS.
+type Options struct {
+	// StripeSize is the striping unit (the paper uses 64KB).
+	StripeSize int
+	// NetLatency is the one-way network latency charged per RPC.
+	NetLatency vtime.Duration
+	// MDSNetLatency overrides NetLatency for metadata RPCs (0 = same).
+	MDSNetLatency vtime.Duration
+}
+
+func (o *Options) fill() {
+	if o.StripeSize <= 0 {
+		o.StripeSize = 64 << 10
+	}
+	if o.NetLatency <= 0 {
+		o.NetLatency = 12 * vtime.Microsecond
+	}
+	if o.MDSNetLatency <= 0 {
+		o.MDSNetLatency = o.NetLatency
+	}
+}
+
+// PFS is one deployed parallel filesystem instance.
+type PFS struct {
+	opts Options
+
+	// mds is the metadata server's local filesystem stack.
+	mds workload.FS
+	// dataServers hold the stripes.
+	dataServers []*device.Device
+
+	mu sync.Mutex
+	// placement maps file -> ordered stripe locations.
+	placement map[string][]stripeLoc
+	// alloc is the next free stripe slot per data server.
+	alloc []int64
+}
+
+// stripeLoc records where one stripe lives.
+type stripeLoc struct {
+	server int
+	slot   int64
+}
+
+// New creates a PFS over the given metadata stack and data-server devices.
+func New(mds workload.FS, dataServers []*device.Device, opts Options) *PFS {
+	opts.fill()
+	return &PFS{
+		opts:        opts,
+		mds:         mds,
+		dataServers: dataServers,
+		placement:   make(map[string][]stripeLoc),
+		alloc:       make([]int64, len(dataServers)),
+	}
+}
+
+// Client is one application process's PFS endpoint (an MPI rank).
+type Client struct {
+	pfs  *PFS
+	rank int
+	// mdsActor is this client's session with the metadata server's stack.
+	mdsActor workload.Actor
+	clock    vtime.Clock
+	// metaVT and dataVT split the client's elapsed time into the metadata
+	// (MDS RPC) and data (stripe transfer) components, so experiments can
+	// isolate the metadata-stack variable from data-path noise.
+	metaVT vtime.Duration
+	dataVT vtime.Duration
+}
+
+// NewClient returns a client for the given rank.
+func (p *PFS) NewClient(rank int) *Client {
+	return &Client{pfs: p, rank: rank, mdsActor: p.mds.NewActor(rank)}
+}
+
+// Now returns the client's virtual time.
+func (c *Client) Now() vtime.Time { return c.clock.Now() }
+
+// MetaTime returns the cumulative time this client spent in metadata RPCs.
+func (c *Client) MetaTime() vtime.Duration { return c.metaVT }
+
+// DataTime returns the cumulative time this client spent in data transfers.
+func (c *Client) DataTime() vtime.Duration { return c.dataVT }
+
+// metaOp performs one metadata RPC: network there, an op on the MDS's local
+// stack (starting no earlier than the client's send time), network back.
+func (c *Client) metaOp(path string, create bool) error {
+	o := c.pfs.opts
+	c.clock.Advance(o.MDSNetLatency)
+	// The MDS actor's clock tracks server-side queueing; sync it forward to
+	// the RPC arrival so think time doesn't hide server load.
+	before := c.mdsActor.Now()
+	var err error
+	if create {
+		err = c.mdsActor.Create("stripes/" + path)
+	} else {
+		_, err = c.mdsActor.Stat("stripes/" + path)
+	}
+	served := c.mdsActor.Now().Sub(before)
+	c.clock.Advance(served + o.MDSNetLatency)
+	c.metaVT += served + 2*o.MDSNetLatency
+	return err
+}
+
+// WriteFile writes data to the named file, striping across data servers.
+// Each stripe costs one metadata RPC (placement record) plus one data-server
+// write; stripes of a single call proceed in parallel on the data servers.
+func (c *Client) WriteFile(path string, data []byte) error {
+	p := c.pfs
+	o := p.opts
+	nStripes := (len(data) + o.StripeSize - 1) / o.StripeSize
+	p.mu.Lock()
+	start := len(p.placement[path])
+	locs := make([]stripeLoc, nStripes)
+	for i := 0; i < nStripes; i++ {
+		s := (start + i) % len(p.dataServers)
+		locs[i] = stripeLoc{server: s, slot: p.alloc[s]}
+		p.alloc[s]++
+	}
+	p.placement[path] = append(p.placement[path], locs...)
+	p.mu.Unlock()
+
+	for i := 0; i < nStripes; i++ {
+		// Placement metadata for every stripe goes through the MDS.
+		if err := c.metaOp(fmt.Sprintf("%s.%d", path, start+i), true); err != nil {
+			return err
+		}
+	}
+
+	// Data transfers: issued concurrently after the metadata phase.
+	base := c.clock.Now().Add(o.NetLatency)
+	var maxEnd vtime.Time
+	for i := 0; i < nStripes; i++ {
+		lo := i * o.StripeSize
+		hi := lo + o.StripeSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		dev := p.dataServers[locs[i].server]
+		off := locs[i].slot * int64(o.StripeSize)
+		_, end, err := dev.SubmitToQueue(c.rank, device.Write, off, data[lo:hi], base)
+		if err != nil {
+			return err
+		}
+		if end > maxEnd {
+			maxEnd = end
+		}
+	}
+	before := c.clock.Now()
+	c.clock.AdvanceTo(maxEnd.Add(o.NetLatency))
+	c.dataVT += c.clock.Now().Sub(before)
+	return nil
+}
+
+// ReadFile reads size bytes of the named file (previously written in full).
+func (c *Client) ReadFile(path string, size int) ([]byte, error) {
+	p := c.pfs
+	o := p.opts
+	nStripes := (size + o.StripeSize - 1) / o.StripeSize
+	out := make([]byte, size)
+
+	p.mu.Lock()
+	locs := append([]stripeLoc(nil), p.placement[path]...)
+	p.mu.Unlock()
+	if len(locs) < nStripes {
+		return nil, fmt.Errorf("pfs: %q has %d stripes, read wants %d", path, len(locs), nStripes)
+	}
+	for i := 0; i < nStripes; i++ {
+		// Stripe lookup on the MDS.
+		if err := c.metaOp(fmt.Sprintf("%s.%d", path, i), false); err != nil {
+			return nil, err
+		}
+	}
+	base := c.clock.Now().Add(o.NetLatency)
+	var maxEnd vtime.Time
+	for i := 0; i < nStripes; i++ {
+		lo := i * o.StripeSize
+		hi := lo + o.StripeSize
+		if hi > size {
+			hi = size
+		}
+		dev := p.dataServers[locs[i].server]
+		buf := make([]byte, hi-lo)
+		_, end, err := dev.SubmitToQueue(c.rank, device.Read, locs[i].slot*int64(o.StripeSize), buf, base)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[lo:hi], buf)
+		if end > maxEnd {
+			maxEnd = end
+		}
+	}
+	before := c.clock.Now()
+	c.clock.AdvanceTo(maxEnd.Add(o.NetLatency))
+	c.dataVT += c.clock.Now().Sub(before)
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package pfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"labstor/internal/device"
+	"labstor/internal/kernel"
+	"labstor/internal/pfs"
+	"labstor/internal/vtime"
+	"labstor/internal/workload"
+)
+
+func newPFS(t *testing.T, nData int, class device.Class) *pfs.PFS {
+	t.Helper()
+	prof, _ := kernel.KFSProfileFor("ext4")
+	mds := &workload.KernelFS{FSName: "ext4", KFS: kernel.NewKFS(prof, device.New("mds", device.NVMe, 1<<30), vtime.Default())}
+	devs := make([]*device.Device, nData)
+	for i := range devs {
+		devs[i] = device.New("ds", class, 1<<30)
+	}
+	return pfs.New(mds, devs, pfs.Options{StripeSize: 64 << 10})
+}
+
+func TestPFSWriteReadRoundTrip(t *testing.T) {
+	p := newPFS(t, 4, device.NVMe)
+	c := p.NewClient(0)
+	data := bytes.Repeat([]byte("stripe!"), 40000) // 280000 bytes -> 5 stripes
+	if err := c.WriteFile("f.dat", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("f.dat", len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("striped round trip mismatch")
+	}
+}
+
+func TestPFSMultiWriteAppendsStripes(t *testing.T) {
+	p := newPFS(t, 2, device.NVMe)
+	c := p.NewClient(1)
+	first := bytes.Repeat([]byte{1}, 64<<10)
+	second := bytes.Repeat([]byte{2}, 64<<10)
+	if err := c.WriteFile("f", first); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("f", second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("f", 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:64<<10], first) || !bytes.Equal(got[64<<10:], second) {
+		t.Fatal("appended stripes mismatch")
+	}
+}
+
+func TestPFSReadBeyondWrittenFails(t *testing.T) {
+	p := newPFS(t, 2, device.NVMe)
+	c := p.NewClient(0)
+	c.WriteFile("s", make([]byte, 64<<10))
+	if _, err := c.ReadFile("s", 256<<10); err == nil {
+		t.Fatal("read of unwritten stripes succeeded")
+	}
+}
+
+func TestPFSAccountingSplitsMetaAndData(t *testing.T) {
+	p := newPFS(t, 4, device.HDD)
+	c := p.NewClient(0)
+	if err := c.WriteFile("f", make([]byte, 256<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if c.MetaTime() <= 0 || c.DataTime() <= 0 {
+		t.Fatalf("accounting: meta=%v data=%v", c.MetaTime(), c.DataTime())
+	}
+	// On HDD, data transfer dominates metadata.
+	if c.DataTime() <= c.MetaTime() {
+		t.Fatalf("HDD data (%v) should dominate metadata (%v)", c.DataTime(), c.MetaTime())
+	}
+	if c.Now() <= 0 {
+		t.Fatal("clock")
+	}
+}
+
+func TestPFSStripesSpreadAcrossServers(t *testing.T) {
+	prof, _ := kernel.KFSProfileFor("ext4")
+	mds := &workload.KernelFS{FSName: "ext4", KFS: kernel.NewKFS(prof, device.New("mds", device.NVMe, 1<<30), vtime.Default())}
+	devs := make([]*device.Device, 4)
+	for i := range devs {
+		devs[i] = device.New("ds", device.NVMe, 1<<30)
+	}
+	p := pfs.New(mds, devs, pfs.Options{StripeSize: 64 << 10})
+	c := p.NewClient(0)
+	if err := c.WriteFile("f", make([]byte, 8*64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range devs {
+		_, w, _, bw, _ := d.Stats()
+		if w != 2 || bw != 2*64<<10 {
+			t.Fatalf("server %d holds %d stripes (%d bytes), want 2", i, w, bw)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	gort "runtime"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/ipc"
+	"labstor/internal/vtime"
+)
+
+// ErrWaitTimeout is returned by Wait when the Runtime stays offline longer
+// than the client's configured patience.
+var ErrWaitTimeout = errors.New("runtime: timed out waiting for runtime restart")
+
+// Client is the LabStor client library endpoint for one application
+// process/thread. Connecting performs the paper's handshake: the client
+// presents process credentials over a UNIX-domain-socket-equivalent, the
+// Runtime authenticates them, allocates a shared-memory queue pair, and
+// grants the client access to the segment.
+type Client struct {
+	rt   *Runtime
+	id   int
+	cred ipc.Credentials
+
+	qp *QP
+
+	// clock is the client thread's virtual clock; it advances with each
+	// completion, making submissions closed-loop in virtual time.
+	clock vtime.Clock
+
+	// syncExec walks sync-mode stacks directly in the client thread against
+	// the client's own registry view (decentralized execution, Lab-D).
+	syncExec *core.Exec
+	// localRegistry is this client's instance view for decentralized
+	// upgrades. It starts as a mirror of the Runtime registry.
+	localRegistry *core.Registry
+
+	// RestartPatience bounds how long Wait tolerates a crashed Runtime.
+	RestartPatience time.Duration
+
+	// OriginCore tags submitted requests with the client's CPU core (used
+	// by the NoOp scheduler's core-keyed hctx mapping).
+	OriginCore int
+}
+
+// Connect registers a new client with the Runtime and allocates its primary
+// queue pair.
+func (rt *Runtime) Connect(cred ipc.Credentials) *Client {
+	rt.mu.Lock()
+	rt.nextCli++
+	rt.nextQP++
+	id := rt.nextCli
+	qp := ipc.NewQueuePair[*core.Request](rt.nextQP, ipc.Primary, true, rt.opts.QueueDepth)
+	qp.OwnerClient = id
+
+	c := &Client{
+		rt:              rt,
+		id:              id,
+		cred:            cred,
+		qp:              qp,
+		localRegistry:   rt.Registry, // shared until a decentralized upgrade clones it
+		RestartPatience: 5 * time.Second,
+		OriginCore:      id,
+	}
+	c.syncExec = core.NewExec(rt.Registry, rt.Namespace, rt.opts.Model, -1)
+	rt.clients[id] = c
+	rt.mu.Unlock()
+
+	// Grant the client its shared segment and hand the queue to the
+	// orchestrator for assignment.
+	seg := rt.Env.Segments.Allocate(fmt.Sprintf("qp-%d", qp.ID), 1<<16, cred)
+	seg.Grant(cred.PID)
+	rt.orch.AddQueue(qp)
+	return c
+}
+
+// Clone implements the fork/clone support path (paper §III-F): the child
+// process gets its own connection — fresh credentials PID, a fresh
+// shared-memory queue pair and segment grant — while open file descriptors
+// remain visible because GenericFS manages fd state common to the I/O
+// systems of its type. The child's virtual clock starts at the parent's
+// (a forked process inherits its parent's position on the timeline).
+func (c *Client) Clone(childPID int) *Client {
+	cred := c.cred
+	cred.PID = childPID
+	child := c.rt.Connect(cred)
+	child.OriginCore = c.OriginCore
+	child.clock.AdvanceTo(c.clock.Now())
+	return child
+}
+
+// Disconnect removes the client and retires its queue pair.
+func (c *Client) Disconnect() {
+	c.rt.mu.Lock()
+	delete(c.rt.clients, c.id)
+	c.rt.mu.Unlock()
+	c.rt.orch.RemoveQueue(c.qp)
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() int { return c.id }
+
+// Clock returns the client's current virtual time.
+func (c *Client) Clock() vtime.Time { return c.clock.Now() }
+
+// AdvanceClock lets workload generators model think time.
+func (c *Client) AdvanceClock(d vtime.Duration) { c.clock.Advance(d) }
+
+// QueuePair exposes the client's primary queue pair (diagnostics/tests).
+func (c *Client) QueuePair() *QP { return c.qp }
+
+// Resolve finds the stack serving path and the path remainder.
+func (c *Client) Resolve(path string) (*core.Stack, string, bool) {
+	return c.rt.Namespace.Resolve(path)
+}
+
+// Submit routes req to the stack mounted at mount. Depending on the stack's
+// exec mode the request is either placed on the client's queue pair for a
+// Runtime worker (async: the centralized, secure path) or executed inline
+// in the client thread (sync: the decentralized path with no IPC).
+//
+// Submit returns once the request is finished (async submissions wait via
+// Wait, which detects Runtime crashes and blocks for restart).
+func (c *Client) Submit(mount string, req *core.Request) error {
+	s, ok := c.rt.Namespace.Lookup(mount)
+	if !ok {
+		var rem string
+		s, rem, ok = c.rt.Namespace.Resolve(mount)
+		if !ok {
+			return fmt.Errorf("runtime: no stack serving %q", mount)
+		}
+		if req.Path == "" {
+			req.Path = rem
+		}
+	}
+	return c.SubmitStack(s, req)
+}
+
+// SubmitStack routes req to an already-resolved stack.
+func (c *Client) SubmitStack(s *core.Stack, req *core.Request) error {
+	req.StackID = s.ID
+	req.Cred = core.Cred{UID: c.cred.UID, GID: c.cred.GID}
+	req.OriginCore = c.OriginCore
+	now := c.clock.Now()
+	req.Arrival = now
+	req.Clock = now
+
+	if s.Rules.ExecMode == core.ExecSync {
+		// Decentralized: walk the DAG in the client thread against the
+		// client's registry view. No queue, no IPC charge.
+		exec := c.syncExec
+		exec.Registry = c.localRegistry
+		err := exec.Submit(s, req)
+		req.MarkDone()
+		c.clock.AdvanceTo(req.Clock)
+		if err != nil && req.Err == nil {
+			req.Err = err
+		}
+		return req.Err
+	}
+
+	// Centralized: enqueue on the primary queue pair and poll for the
+	// completion.
+	req.Charge("queue", c.rt.opts.Model.QueueOp)
+	for {
+		if err := c.checkAlive(); err != nil {
+			return err
+		}
+		if err := c.qp.Submit(req); err == nil {
+			break
+		}
+		// Ring full: yield until a worker drains it.
+		gort.Gosched()
+	}
+	c.rt.pokeWorkers()
+	if err := c.Wait(req); err != nil {
+		return err
+	}
+	c.clock.AdvanceTo(req.Clock)
+	return req.Err
+}
+
+// SubmitStackAsync enqueues req on the client's queue pair without waiting
+// for completion (async-mode stacks only) — the queue-depth>1 submission
+// path. Use Wait/WaitAll to reap.
+func (c *Client) SubmitStackAsync(s *core.Stack, req *core.Request) error {
+	if s.Rules.ExecMode == core.ExecSync {
+		return c.SubmitStack(s, req)
+	}
+	req.StackID = s.ID
+	req.Cred = core.Cred{UID: c.cred.UID, GID: c.cred.GID}
+	req.OriginCore = c.OriginCore
+	now := c.clock.Now()
+	req.Arrival = now
+	req.Clock = now
+	req.Charge("queue", c.rt.opts.Model.QueueOp)
+	for {
+		if err := c.checkAlive(); err != nil {
+			return err
+		}
+		if err := c.qp.Submit(req); err == nil {
+			c.rt.pokeWorkers()
+			return nil
+		}
+		gort.Gosched()
+	}
+}
+
+// WaitAll reaps a batch of async submissions, advancing the client clock to
+// the latest completion.
+func (c *Client) WaitAll(reqs []*core.Request) error {
+	for _, req := range reqs {
+		if err := c.Wait(req); err != nil {
+			return err
+		}
+		c.clock.AdvanceTo(req.Clock)
+		if req.Err != nil {
+			return req.Err
+		}
+	}
+	return nil
+}
+
+// Call builds, submits and waits for a request in one step.
+func (c *Client) Call(mount string, op core.Op, build func(*core.Request)) (*core.Request, error) {
+	req := core.NewRequest(op)
+	if build != nil {
+		build(req)
+	}
+	err := c.Submit(mount, req)
+	return req, err
+}
+
+// Wait blocks until req completes. If the Runtime crashes while the request
+// is outstanding, Wait blocks until an administrator restarts it (up to
+// RestartPatience), triggers StateRepair through the client library, and
+// resubmits the request (paper §III-C3).
+func (c *Client) Wait(req *core.Request) error {
+	deadline := time.Now().Add(c.RestartPatience)
+	for {
+		// Drain the completion queue: completions are signaled per-request
+		// via MarkDone, but the CQ ring slots must be recycled.
+		for {
+			if _, err := c.qp.PollCQ(); err != nil {
+				break
+			}
+		}
+		select {
+		case <-req.DoneCh():
+			return nil
+		case <-time.After(2 * time.Millisecond):
+			// Periodic wakeup to detect a crashed/stopped Runtime.
+		}
+		if c.rt.Crashed() {
+			if err := c.awaitRestart(deadline); err != nil {
+				return err
+			}
+			// The Runtime is back: repair module state, then keep waiting —
+			// the frozen queues are intact, so workers resume draining the
+			// outstanding request.
+			c.repairAfterCrash()
+		}
+		if c.rt.state.Load() == stateStopped {
+			return ErrStopped
+		}
+	}
+}
+
+func (c *Client) awaitRestart(deadline time.Time) error {
+	for c.rt.Crashed() {
+		if time.Now().After(deadline) {
+			return ErrWaitTimeout
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// repairAfterCrash is the client library's post-restart hook. In the
+// paper, each client iterates the LabStack Namespace and invokes
+// StateRepair on the LabMods in its address space. Here the Runtime's
+// Restart performs that repair exactly once, under quiescence (no requests
+// in flight), for the shared instances every client would otherwise race
+// to repair; the client hook only repairs instances that are private to
+// this client — clones created by a decentralized upgrade.
+func (c *Client) repairAfterCrash() {
+	if c.localRegistry == c.rt.Registry {
+		return // shared instances: repaired centrally by Restart
+	}
+	for _, s := range c.rt.Namespace.Stacks() {
+		if s.Rules.ExecMode != core.ExecSync {
+			continue
+		}
+		for _, v := range s.Vertices() {
+			if m, err := c.localRegistry.Get(v.UUID); err == nil {
+				if shared, err2 := c.rt.Registry.Get(v.UUID); err2 == nil && shared == m {
+					continue // still the shared instance
+				}
+				_ = m.StateRepair()
+			}
+		}
+	}
+}
+
+func (c *Client) checkAlive() error {
+	switch c.rt.state.Load() {
+	case stateStopped:
+		return ErrStopped
+	default:
+		return nil
+	}
+}
+
+// cloneRegistryForDecentralized gives the client a private registry view the
+// decentralized upgrade protocol can update independently.
+func (c *Client) cloneRegistryForDecentralized() *core.Registry {
+	if c.localRegistry != c.rt.Registry {
+		return c.localRegistry
+	}
+	clone := core.NewRegistry()
+	c.rt.Registry.ForEach(func(uuid string, m core.Module) {
+		clone.Register(uuid, m)
+	})
+	c.localRegistry = clone
+	return clone
+}

@@ -1,0 +1,313 @@
+package runtime_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	_ "labstor/internal/mods/allmods"
+	"labstor/internal/runtime"
+)
+
+// newTestRuntime builds a Runtime with an NVMe device and the Lab-All
+// filesystem stack mounted at fs::/data.
+func newTestRuntime(t *testing.T, execMode string) (*runtime.Runtime, *runtime.Client) {
+	t.Helper()
+	rt := runtime.New(runtime.Options{MaxWorkers: 2, QueueDepth: 256})
+	rt.AddDevice(device.New("nvme0", device.NVMe, 256<<20))
+	stackSpec := fmt.Sprintf(`
+mount: fs::/data
+rules:
+  exec_mode: %s
+mods:
+  - uuid: genfs
+    type: labstor.genericfs
+  - uuid: perm
+    type: labstor.perm
+    attrs:
+      mode: "0666"
+  - uuid: fs
+    type: labstor.labfs
+    attrs:
+      device: nvme0
+      log_mb: 4
+  - uuid: cache
+    type: labstor.lru
+    attrs:
+      capacity_mb: 8
+  - uuid: sched
+    type: labstor.noop
+    attrs:
+      device: nvme0
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: nvme0
+`, execMode)
+	if _, err := rt.MountSpec(stackSpec); err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Shutdown)
+	cli := rt.Connect(ipc.Credentials{PID: 100, UID: 1000, GID: 1000})
+	return rt, cli
+}
+
+func testFileRoundTrip(t *testing.T, cli *runtime.Client) {
+	t.Helper()
+	// Create + write.
+	req, err := cli.Call("fs::/data", core.OpCreate, func(r *core.Request) {
+		r.Path = "hello.txt"
+		r.Mode = 0644
+	})
+	if err != nil {
+		t.Fatalf("create: %v (req err %v)", err, req.Err)
+	}
+	payload := bytes.Repeat([]byte("labstor!"), 1024) // 8 KiB
+	if _, err := cli.Call("fs::/data", core.OpWrite, func(r *core.Request) {
+		r.Path = "hello.txt"
+		r.Offset = 0
+		r.Size = len(payload)
+		r.Data = payload
+	}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Read back.
+	rd, err := cli.Call("fs::/data", core.OpRead, func(r *core.Request) {
+		r.Path = "hello.txt"
+		r.Offset = 0
+		r.Size = len(payload)
+		r.Data = make([]byte, len(payload))
+	})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if rd.Result != int64(len(payload)) {
+		t.Fatalf("read returned %d bytes, want %d", rd.Result, len(payload))
+	}
+	if !bytes.Equal(rd.Data, payload) {
+		t.Fatalf("read data mismatch")
+	}
+	// Stat.
+	st, err := cli.Call("fs::/data", core.OpStat, func(r *core.Request) { r.Path = "hello.txt" })
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if st.Result != int64(len(payload)) {
+		t.Fatalf("stat size = %d, want %d", st.Result, len(payload))
+	}
+	// Latency must be accounted in virtual time.
+	if rd.Latency() <= 0 {
+		t.Fatalf("read latency not modeled: %v", rd.Latency())
+	}
+}
+
+func TestAsyncStackFileRoundTrip(t *testing.T) {
+	_, cli := newTestRuntime(t, "async")
+	testFileRoundTrip(t, cli)
+}
+
+func TestSyncStackFileRoundTrip(t *testing.T) {
+	_, cli := newTestRuntime(t, "sync")
+	testFileRoundTrip(t, cli)
+}
+
+func TestUnalignedAndSparseIO(t *testing.T) {
+	_, cli := newTestRuntime(t, "async")
+	// Write 100 bytes at offset 5000 (crosses nothing, unaligned).
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	if _, err := cli.Call("fs::/data", core.OpWrite, func(r *core.Request) {
+		r.Path = "sparse.bin"
+		r.Flags = core.FlagCreate
+		r.Offset = 5000
+		r.Size = len(data)
+		r.Data = data
+	}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Read the hole before it: should be zeros.
+	rd, err := cli.Call("fs::/data", core.OpRead, func(r *core.Request) {
+		r.Path = "sparse.bin"
+		r.Offset = 0
+		r.Size = 5000
+		r.Data = make([]byte, 5000)
+	})
+	if err != nil {
+		t.Fatalf("read hole: %v", err)
+	}
+	for i, b := range rd.Data[:int(rd.Result)] {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %x, want 0", i, b)
+		}
+	}
+	// Read the written region.
+	rd2, err := cli.Call("fs::/data", core.OpRead, func(r *core.Request) {
+		r.Path = "sparse.bin"
+		r.Offset = 5000
+		r.Size = 100
+		r.Data = make([]byte, 100)
+	})
+	if err != nil {
+		t.Fatalf("read data: %v", err)
+	}
+	if !bytes.Equal(rd2.Data[:100], data) {
+		t.Fatalf("unaligned data mismatch")
+	}
+}
+
+func TestPermissionDenied(t *testing.T) {
+	rt := runtime.New(runtime.Options{MaxWorkers: 1})
+	rt.AddDevice(device.New("nvme0", device.NVMe, 64<<20))
+	_, err := rt.MountSpec(`
+mount: fs::/secure
+mods:
+  - uuid: perm
+    type: labstor.perm
+    attrs:
+      owner: "0"
+      mode: "0600"
+  - uuid: fs
+    type: labstor.labfs
+    attrs:
+      device: nvme0
+      log_mb: 4
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: nvme0
+`)
+	if err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	rt.Start()
+	defer rt.Shutdown()
+
+	intruder := rt.Connect(ipc.Credentials{PID: 7, UID: 1234, GID: 1234})
+	req, _ := intruder.Call("fs::/secure", core.OpCreate, func(r *core.Request) { r.Path = "x" })
+	if req.Err == nil {
+		t.Fatalf("expected permission denial for non-owner")
+	}
+	root := rt.Connect(ipc.Credentials{PID: 8, UID: 0, GID: 0})
+	req2, err := root.Call("fs::/secure", core.OpCreate, func(r *core.Request) { r.Path = "x" })
+	if err != nil || req2.Err != nil {
+		t.Fatalf("root create failed: %v / %v", err, req2.Err)
+	}
+}
+
+func TestNamespaceLongestPrefixRouting(t *testing.T) {
+	rt, cli := newTestRuntime(t, "async")
+	_ = rt
+	// Submit via a deeper path: fs::/data/sub/file should route to fs::/data.
+	s, rem, ok := cli.Resolve("fs::/data/sub/file.txt")
+	if !ok {
+		t.Fatalf("resolve failed")
+	}
+	if s.Mount != "fs::/data" {
+		t.Fatalf("resolved mount %q", s.Mount)
+	}
+	if rem != "sub/file.txt" {
+		t.Fatalf("remainder %q", rem)
+	}
+}
+
+func TestDirectoryOps(t *testing.T) {
+	_, cli := newTestRuntime(t, "async")
+	if _, err := cli.Call("fs::/data", core.OpMkdir, func(r *core.Request) { r.Path = "dir" }); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("dir/f%d", i)
+		if _, err := cli.Call("fs::/data", core.OpCreate, func(r *core.Request) { r.Path = name }); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+	}
+	ls, err := cli.Call("fs::/data", core.OpReaddir, func(r *core.Request) { r.Path = "dir" })
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	if len(ls.Names) != 3 {
+		t.Fatalf("readdir returned %v", ls.Names)
+	}
+	// rmdir non-empty must fail.
+	rm, _ := cli.Call("fs::/data", core.OpRmdir, func(r *core.Request) { r.Path = "dir" })
+	if rm.Err == nil {
+		t.Fatalf("rmdir of non-empty dir succeeded")
+	}
+	// unlink children, then rmdir.
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("dir/f%d", i)
+		if _, err := cli.Call("fs::/data", core.OpUnlink, func(r *core.Request) { r.Path = name }); err != nil {
+			t.Fatalf("unlink: %v", err)
+		}
+	}
+	if req, err := cli.Call("fs::/data", core.OpRmdir, func(r *core.Request) { r.Path = "dir" }); err != nil || req.Err != nil {
+		t.Fatalf("rmdir: %v / %v", err, req.Err)
+	}
+}
+
+func TestCloneSharesOpenFiles(t *testing.T) {
+	_, cli := newTestRuntime(t, "async")
+	// Parent opens a file through GenericFS (fd-based state).
+	cr, err := cli.Call("fs::/data", core.OpCreate, func(r *core.Request) { r.Path = "shared.txt" })
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// Child clones the connection and writes through the inherited fd.
+	child := cli.Clone(4242)
+	w := core.NewRequest(core.OpWrite)
+	w.FD = int(cr.Result)
+	w.Offset = 0
+	w.Data = []byte("from the child")
+	w.Size = len(w.Data)
+	if err := child.Submit("fs::/data", w); err != nil || w.Err != nil {
+		t.Fatalf("child write: %v / %v", err, w.Err)
+	}
+	// Parent sees the child's write.
+	rd, err := cli.Call("fs::/data", core.OpRead, func(r *core.Request) {
+		r.Path = "shared.txt"
+		r.Size = 14
+		r.Data = make([]byte, 14)
+	})
+	if err != nil || string(rd.Data[:rd.Result]) != "from the child" {
+		t.Fatalf("parent read: %v %q", err, rd.Data)
+	}
+	if child.Clock() < cli.Clock()-1000000 {
+		t.Fatal("child clock not inherited")
+	}
+}
+
+func TestRenameAndUnlink(t *testing.T) {
+	_, cli := newTestRuntime(t, "async")
+	payload := []byte("move me")
+	if _, err := cli.Call("fs::/data", core.OpWrite, func(r *core.Request) {
+		r.Path = "a.txt"
+		r.Flags = core.FlagCreate
+		r.Size = len(payload)
+		r.Data = payload
+	}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := cli.Call("fs::/data", core.OpRename, func(r *core.Request) {
+		r.Path = "a.txt"
+		r.Path2 = "b.txt"
+	}); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	// Old path gone.
+	old, _ := cli.Call("fs::/data", core.OpStat, func(r *core.Request) { r.Path = "a.txt" })
+	if old.Err == nil {
+		t.Fatalf("stat of renamed-away path succeeded")
+	}
+	// New path readable.
+	rd, err := cli.Call("fs::/data", core.OpRead, func(r *core.Request) {
+		r.Path = "b.txt"
+		r.Size = len(payload)
+		r.Data = make([]byte, len(payload))
+	})
+	if err != nil || !bytes.Equal(rd.Data[:rd.Result], payload) {
+		t.Fatalf("read after rename: %v, data %q", err, rd.Data)
+	}
+}

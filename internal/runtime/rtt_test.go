@@ -1,0 +1,32 @@
+package runtime_test
+
+import (
+	"testing"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	_ "labstor/internal/mods/allmods"
+	"labstor/internal/runtime"
+)
+
+func TestMessageRTT(t *testing.T) {
+	rt := runtime.New(runtime.Options{MaxWorkers: 1, QueueDepth: 4096})
+	rt.AddDevice(device.New("dev0", device.NVMe, 64<<20))
+	if _, err := rt.Mount(core.NewStack("msg::/d", core.Rules{}, []core.Vertex{{UUID: "dummy0", Type: "labstor.dummy"}})); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Shutdown()
+	cli := rt.Connect(ipc.Credentials{PID: 1})
+	start := time.Now()
+	const N = 5000
+	for i := 0; i < N; i++ {
+		req := core.NewRequest(core.OpMessage)
+		if err := cli.Submit("msg::/d", req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("RTT avg: %v", time.Since(start)/N)
+}

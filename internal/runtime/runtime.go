@@ -1,0 +1,463 @@
+// Package runtime implements the LabStor Runtime: the userspace
+// semi-microkernel that stores, executes, upgrades and repairs LabStacks.
+//
+// It reproduces the paper's architecture (§III-C):
+//
+//   - IPC Manager — clients connect with process credentials and obtain
+//     shared-memory queue pairs (internal/ipc) over which requests flow;
+//   - Workers — polling threads that drain request queues and walk LabStack
+//     DAGs via core.Exec;
+//   - Work Orchestrator — assigns queues to workers under a pluggable
+//     policy (round-robin or the paper's dynamic latency/compute
+//     partitioning) and scales the worker pool;
+//   - Module Manager — holds the Module Registry and executes the
+//     centralized and decentralized live-upgrade protocols;
+//   - LabStack Namespace — mount/modify/unmount of stacks;
+//   - Crash recovery — the Runtime can crash and be restarted while
+//     clients block in Wait; on restart clients invoke StateRepair on
+//     every LabMod and continue.
+//
+// Performance is accounted in virtual time (see internal/vtime): each
+// worker and client owns a virtual clock, so modeled latency, throughput,
+// queueing and CPU utilization are deterministic and host-independent.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	gort "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	"labstor/internal/spec"
+	"labstor/internal/vtime"
+)
+
+// ErrStopped is returned after a clean Shutdown.
+var ErrStopped = errors.New("runtime: runtime is stopped")
+
+// Request is the queue payload type alias used throughout the runtime.
+type Request = core.Request
+
+// QP is a queue pair carrying requests.
+type QP = ipc.QueuePair[*core.Request]
+
+// Options configures a Runtime.
+type Options struct {
+	// MaxWorkers is the size of the worker pool (paper: Runtime workers
+	// configured per experiment). The orchestrator may activate fewer.
+	MaxWorkers int
+	// InitialWorkers is the number of workers active at start
+	// (default MaxWorkers).
+	InitialWorkers int
+	// QueueDepth is the per-queue-pair ring depth.
+	QueueDepth int
+	// Policy selects the orchestration policy ("round_robin" or "dynamic").
+	Policy string
+	// RebalanceEvery is the orchestrator epoch (wall time). 0 disables the
+	// background rebalance loop (experiments call Rebalance explicitly).
+	RebalanceEvery time.Duration
+	// UpgradePoll is the Runtime Admin's upgrade-queue polling period.
+	UpgradePoll time.Duration
+	// Model is the virtual-time cost model (vtime.Default() if nil).
+	Model *vtime.CostModel
+	// LatencyCutoff divides latency-sensitive from computational queues in
+	// the dynamic policy.
+	LatencyCutoff vtime.Duration
+	// LossThreshold is the dynamic policy's tolerated per-worker overload.
+	LossThreshold float64
+	// MaxReposPerUser bounds mount.repo per UID (0 = unlimited).
+	MaxReposPerUser int
+	// PerfSampleEvery traces one request in N for per-stage performance
+	// counters (0 disables sampling; default 64).
+	PerfSampleEvery int
+}
+
+func (o *Options) fill() {
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = 4
+	}
+	if o.InitialWorkers <= 0 || o.InitialWorkers > o.MaxWorkers {
+		o.InitialWorkers = o.MaxWorkers
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.Policy == "" {
+		o.Policy = "round_robin"
+	}
+	if o.UpgradePoll <= 0 {
+		o.UpgradePoll = time.Millisecond
+	}
+	if o.Model == nil {
+		o.Model = vtime.Default()
+	}
+	if o.LatencyCutoff <= 0 {
+		o.LatencyCutoff = 100 * vtime.Microsecond
+	}
+	if o.LossThreshold <= 0 {
+		o.LossThreshold = 0.1
+	}
+	if o.PerfSampleEvery == 0 {
+		o.PerfSampleEvery = 64
+	}
+}
+
+// FromConfig builds Options from a parsed RuntimeConfig.
+func FromConfig(cfg *spec.RuntimeConfig) Options {
+	return Options{
+		MaxWorkers:      cfg.Workers,
+		QueueDepth:      cfg.QueueDepth,
+		Policy:          cfg.Orchestrator.Policy,
+		RebalanceEvery:  time.Duration(cfg.Orchestrator.RebalanceMs) * time.Millisecond,
+		UpgradePoll:     time.Duration(cfg.UpgradePollMs) * time.Millisecond,
+		LatencyCutoff:   vtime.Duration(cfg.Orchestrator.LatencyCutoffUs) * vtime.Microsecond,
+		LossThreshold:   cfg.Orchestrator.LossThreshold,
+		MaxReposPerUser: cfg.MaxReposPerUser,
+	}
+}
+
+// runtime lifecycle states.
+const (
+	stateRunning int32 = iota
+	stateCrashed
+	stateStopped
+)
+
+// Runtime is the LabStor Runtime instance.
+type Runtime struct {
+	opts Options
+
+	Env       *core.Env
+	Registry  *core.Registry
+	Namespace *core.Namespace
+
+	modMgr  *ModManager
+	orch    *Orchestrator
+	repoMgr *core.RepoManager
+
+	perfMu  sync.Mutex
+	perfSum map[string]vtime.Duration
+	perfOps map[string]int64
+
+	mu      sync.Mutex
+	workers []*Worker
+	clients map[int]*Client
+	nextCli int
+	nextQP  int
+
+	state     atomic.Int32
+	adminStop chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New creates a Runtime with the given options.
+func New(opts Options) *Runtime {
+	opts.fill()
+	rt := &Runtime{
+		opts:      opts,
+		Env:       core.NewEnv(opts.Model),
+		Registry:  core.NewRegistry(),
+		Namespace: core.NewNamespace(),
+		clients:   make(map[int]*Client),
+		adminStop: make(chan struct{}),
+	}
+	rt.modMgr = newModManager(rt)
+	rt.orch = newOrchestrator(rt)
+	rt.repoMgr = core.NewRepoManager(opts.MaxReposPerUser, 0)
+	rt.perfSum = make(map[string]vtime.Duration)
+	rt.perfOps = make(map[string]int64)
+	for i := 0; i < opts.MaxWorkers; i++ {
+		rt.workers = append(rt.workers, newWorker(rt, i))
+	}
+	return rt
+}
+
+// Start launches the workers and the admin loop.
+func (rt *Runtime) Start() {
+	rt.state.Store(stateRunning)
+	for i, w := range rt.workers {
+		active := i < rt.opts.InitialWorkers
+		w.setActive(active)
+		rt.wg.Add(1)
+		go w.run(&rt.wg)
+	}
+	rt.wg.Add(1)
+	go rt.adminLoop()
+	if rt.opts.RebalanceEvery > 0 {
+		rt.wg.Add(1)
+		go rt.rebalanceLoop()
+	}
+}
+
+// Shutdown stops the Runtime cleanly.
+func (rt *Runtime) Shutdown() {
+	if !rt.state.CompareAndSwap(stateRunning, stateStopped) {
+		rt.state.Store(stateStopped)
+	}
+	close(rt.adminStop)
+	for _, w := range rt.workers {
+		w.stop()
+	}
+	rt.wg.Wait()
+}
+
+// Crash simulates a Runtime crash (paper §III-C3): workers halt abruptly,
+// queues freeze, clients observing Wait see the Runtime offline.
+func (rt *Runtime) Crash() {
+	rt.state.Store(stateCrashed)
+}
+
+// Restart repairs and resumes a crashed Runtime: module state is repaired
+// via StateRepair and workers resume draining the frozen queues. Requests
+// that were mid-execution when the crash hit are drained first, so repair
+// never races an in-flight mutation.
+func (rt *Runtime) Restart() error {
+	if rt.state.Load() != stateCrashed {
+		return fmt.Errorf("runtime: not crashed")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		busy := false
+		for _, w := range rt.workers {
+			if w.inProcess.Load() {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("runtime: in-flight requests did not drain before restart")
+		}
+		gort.Gosched()
+	}
+	if err := rt.Registry.RepairAll(); err != nil {
+		return err
+	}
+	rt.state.Store(stateRunning)
+	return nil
+}
+
+// Running reports whether the Runtime is processing requests.
+func (rt *Runtime) Running() bool { return rt.state.Load() == stateRunning }
+
+// Crashed reports whether the Runtime is in the crashed state.
+func (rt *Runtime) Crashed() bool { return rt.state.Load() == stateCrashed }
+
+// Model returns the cost model.
+func (rt *Runtime) Model() *vtime.CostModel { return rt.opts.Model }
+
+// Options returns the active options.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// AddDevice registers a simulated device with the module environment.
+func (rt *Runtime) AddDevice(d *device.Device) { rt.Env.AddDevice(d) }
+
+// ModManager exposes the Module Manager (upgrade API).
+func (rt *Runtime) ModManager() *ModManager { return rt.modMgr }
+
+// Orchestrator exposes the Work Orchestrator.
+func (rt *Runtime) Orchestrator() *Orchestrator { return rt.orch }
+
+// --- repos & performance counters ---------------------------------------------
+
+// MountRepo registers a LabMod repo's types (the paper's unprivileged
+// `mount.repo`), subject to the per-user quota.
+func (rt *Runtime) MountRepo(r *core.Repo) error { return rt.repoMgr.Mount(r) }
+
+// UnmountRepo removes a repo (`unmount.repo`). uid 0 may remove any.
+func (rt *Runtime) UnmountRepo(name string, uid int) error { return rt.repoMgr.Unmount(name, uid) }
+
+// Repos lists mounted repos.
+func (rt *Runtime) Repos() []string { return rt.repoMgr.Repos() }
+
+// recordPerf folds a sampled request's per-stage costs into the Runtime's
+// performance counters (the paper: workers periodically monitor LabMods for
+// performance metrics feeding orchestration policy).
+func (rt *Runtime) recordPerf(stages []core.StageTime) {
+	rt.perfMu.Lock()
+	for _, st := range stages {
+		rt.perfSum[st.Stage] += st.Cost
+		rt.perfOps[st.Stage]++
+	}
+	rt.perfMu.Unlock()
+}
+
+// PerfCounter is one pipeline stage's sampled cost statistics.
+type PerfCounter struct {
+	Stage string
+	Ops   int64
+	Total vtime.Duration
+	Mean  vtime.Duration
+}
+
+// PerfCounters returns the sampled per-stage performance counters.
+func (rt *Runtime) PerfCounters() []PerfCounter {
+	rt.perfMu.Lock()
+	defer rt.perfMu.Unlock()
+	out := make([]PerfCounter, 0, len(rt.perfSum))
+	for stage, total := range rt.perfSum {
+		ops := rt.perfOps[stage]
+		pc := PerfCounter{Stage: stage, Ops: ops, Total: total}
+		if ops > 0 {
+			pc.Mean = total / vtime.Duration(ops)
+		}
+		out = append(out, pc)
+	}
+	return out
+}
+
+// --- mount & stack management ------------------------------------------------
+
+// MountSpec parses a LabStack spec document, instantiates its LabMods and
+// mounts the stack (the paper's `mount.stack`).
+func (rt *Runtime) MountSpec(src string) (*core.Stack, error) {
+	ss, err := spec.ParseStack(src)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Mount(ss.Stack())
+}
+
+// Mount instantiates the stack's LabMods in the Module Registry (a LabMod
+// is only instantiated if its UUID is new), validates the composition and
+// inducts the stack into the Namespace.
+func (rt *Runtime) Mount(s *core.Stack) (*core.Stack, error) {
+	// Untrusted LabMods (from untrusted repos) may not execute inside the
+	// Runtime's address space: they are confined to client-side (sync)
+	// execution (paper §III-D).
+	if s.Rules.ExecMode == core.ExecAsync {
+		for _, v := range s.Vertices() {
+			if !rt.repoMgr.TrustedType(v.Type) {
+				return nil, fmt.Errorf("runtime: untrusted LabMod type %q may only run in a sync (client-side) stack", v.Type)
+			}
+		}
+	}
+	for _, v := range s.Vertices() {
+		if _, err := rt.Registry.Instantiate(v.UUID, v.Type, core.Config{Attrs: v.Attrs}, rt.Env); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(rt.Registry); err != nil {
+		return nil, err
+	}
+	if err := rt.Namespace.Mount(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Unmount removes a stack from the namespace.
+func (rt *Runtime) Unmount(mount string) error { return rt.Namespace.Unmount(mount) }
+
+// ModifyStack applies a dynamic DAG edit (the paper's `modify_stack`):
+// inserting a vertex instantiates its module if needed.
+func (rt *Runtime) ModifyStack(mount string, insertAfter string, v *core.Vertex, remove string) error {
+	s, ok := rt.Namespace.Lookup(mount)
+	if !ok {
+		return fmt.Errorf("runtime: nothing mounted at %q", mount)
+	}
+	if v != nil {
+		if _, err := rt.Registry.Instantiate(v.UUID, v.Type, core.Config{Attrs: v.Attrs}, rt.Env); err != nil {
+			return err
+		}
+		if err := s.InsertAfter(insertAfter, *v); err != nil {
+			return err
+		}
+	}
+	if remove != "" {
+		if err := s.RemoveVertex(remove); err != nil {
+			return err
+		}
+	}
+	return s.Validate(rt.Registry)
+}
+
+// --- background loops -------------------------------------------------------
+
+func (rt *Runtime) adminLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.opts.UpgradePoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.adminStop:
+			return
+		case <-t.C:
+			if rt.Running() {
+				rt.modMgr.ProcessUpgrades()
+			}
+		}
+	}
+}
+
+func (rt *Runtime) rebalanceLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.opts.RebalanceEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.adminStop:
+			return
+		case <-t.C:
+			if rt.Running() {
+				rt.orch.Rebalance()
+			}
+		}
+	}
+}
+
+// --- introspection ------------------------------------------------------------
+
+// WorkerStats summarises one worker's accounting.
+type WorkerStats struct {
+	ID        int
+	Active    bool
+	Processed int64
+	BusyVirt  vtime.Duration
+	Clock     vtime.Time
+}
+
+// Stats returns per-worker statistics.
+func (rt *Runtime) Stats() []WorkerStats {
+	out := make([]WorkerStats, 0, len(rt.workers))
+	for _, w := range rt.workers {
+		out = append(out, WorkerStats{
+			ID:        w.id,
+			Active:    w.isActive(),
+			Processed: w.processed.Load(),
+			BusyVirt:  vtime.Duration(w.busy.Load()),
+			Clock:     w.clock.Now(),
+		})
+	}
+	return out
+}
+
+// pokeWorkers nudges parked workers after a submission (non-blocking).
+func (rt *Runtime) pokeWorkers() {
+	for _, w := range rt.workers {
+		if w.isActive() {
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// ActiveWorkers returns the number of currently active workers.
+func (rt *Runtime) ActiveWorkers() int {
+	n := 0
+	for _, w := range rt.workers {
+		if w.isActive() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package runtime
+
+import (
+	gort "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/ipc"
+	"labstor/internal/vtime"
+)
+
+// Worker drains request queues and executes LabStack DAGs. A worker owns a
+// virtual clock: requests it processes serialize on that clock, so worker
+// overload, queueing delay and head-of-line blocking show up in modeled
+// latency exactly as they would on a dedicated core.
+type Worker struct {
+	rt *Runtime
+	id int
+
+	exec *core.Exec
+
+	clock     vtime.Clock
+	busy      atomic.Int64 // cumulative modeled CPU ns
+	processed atomic.Int64
+
+	active atomic.Bool
+	// inProcess is true while the worker is mid-request (crash recovery
+	// drains on it before repairing module state).
+	inProcess atomic.Bool
+	quit      chan struct{}
+	wake      chan struct{}
+
+	// queues assigned by the orchestrator (copy-on-write).
+	queues atomic.Pointer[[]*QP]
+}
+
+func newWorker(rt *Runtime, id int) *Worker {
+	w := &Worker{
+		rt:   rt,
+		id:   id,
+		exec: core.NewExec(rt.Registry, rt.Namespace, rt.opts.Model, id),
+		quit: make(chan struct{}),
+		wake: make(chan struct{}, 1),
+	}
+	empty := []*QP{}
+	w.queues.Store(&empty)
+	return w
+}
+
+func (w *Worker) setActive(a bool) {
+	w.active.Store(a)
+	if a {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (w *Worker) isActive() bool { return w.active.Load() }
+
+func (w *Worker) stop() {
+	select {
+	case <-w.quit:
+	default:
+		close(w.quit)
+	}
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *Worker) assign(qs []*QP) {
+	cp := make([]*QP, len(qs))
+	copy(cp, qs)
+	w.queues.Store(&cp)
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *Worker) assigned() []*QP { return *w.queues.Load() }
+
+// run is the worker's polling loop. Workers busy-poll their queues (the
+// paper's polling workers), yielding the processor between empty scans; a
+// worker that stays idle past a threshold parks on its wake channel (the
+// paper's parking: it stops busy-waiting for the rest of the epoch) and is
+// poked by clients on submit or by the orchestrator on assignment.
+//
+// Host timers on this platform have ~1ms granularity, so the hot path never
+// touches a timer: parking uses the wake channel, with a coarse timer only
+// as a lost-wakeup backstop.
+func (w *Worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	idleRounds := 0
+	for {
+		select {
+		case <-w.quit:
+			return
+		default:
+		}
+		if !w.isActive() || !w.rt.Running() {
+			// Parked, decommissioned, or Runtime crashed: block until woken
+			// or stopped.
+			select {
+			case <-w.quit:
+				return
+			case <-w.wake:
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		if w.pollOnce() {
+			idleRounds = 0
+			continue
+		}
+		idleRounds++
+		if idleRounds < 256 {
+			gort.Gosched()
+			continue
+		}
+		select {
+		case <-w.quit:
+			return
+		case <-w.wake:
+		case <-time.After(2 * time.Millisecond):
+		}
+		idleRounds = 0
+	}
+}
+
+// pollOnce scans assigned queues once, processing at most one request per
+// queue. It returns whether any request was processed.
+func (w *Worker) pollOnce() bool {
+	any := false
+	for _, qp := range w.assigned() {
+		// Live-upgrade handshake: acknowledge pending updates and stop
+		// draining this (primary) queue until the Module Manager resumes it.
+		switch qp.State() {
+		case ipc.UpdatePending:
+			qp.AckUpdate()
+			continue
+		case ipc.UpdateAcked:
+			continue
+		}
+		req, err := qp.PollSQ()
+		if err != nil {
+			continue
+		}
+		any = true
+		w.processRequest(qp, req)
+	}
+	return any
+}
+
+// processRequest walks one request through its stack and completes it.
+func (w *Worker) processRequest(qp *QP, req *Request) {
+	w.inProcess.Store(true)
+	defer w.inProcess.Store(false)
+	model := w.rt.opts.Model
+
+	// Sample a fraction of requests with tracing on to feed the Runtime's
+	// per-stage performance counters.
+	sampled := false
+	if n := w.rt.opts.PerfSampleEvery; n > 0 && !req.Trace && w.processed.Load()%int64(n) == 0 {
+		req.Trace = true
+		sampled = true
+	}
+
+	// The request's cacheline must be transferred from the submitting
+	// core's cache (or DRAM) — the paper's measured IPC cost.
+	req.Charge("ipc", model.IPCRoundTrip)
+
+	// FCFS serialization on this worker's virtual clock.
+	begin := vtime.MaxTime(req.Clock, w.clock.Now())
+	req.AdvanceTo(begin)
+
+	cpuBefore := cpuOf(req)
+	stack, ok := w.rt.Namespace.ByID(req.StackID)
+	if ok {
+		if err := w.exec.Submit(stack, req); err != nil && req.Err == nil {
+			req.Err = err
+		}
+	} else if req.Err == nil {
+		req.Err = errNoStack(req.StackID)
+	}
+	cpuUsed := cpuOf(req) - cpuBefore
+
+	// The worker was busy for the software portion of the walk; device
+	// service overlaps with the worker polling other queues.
+	w.clock.AdvanceTo(begin.Add(cpuUsed))
+	w.busy.Add(int64(cpuUsed))
+	w.processed.Add(1)
+	w.rt.orch.ObserveRequest(qp.ID, cpuUsed, req.Clock)
+	if sampled {
+		w.rt.recordPerf(req.Stages)
+		req.Trace = false
+	}
+
+	if err := qp.Complete(req); err != nil {
+		// Completion ring full: fall back to direct completion.
+		req.MarkDone()
+		return
+	}
+	req.MarkDone()
+}
+
+// cpuOf sums a request's charged (CPU) stage costs. Device stages advance
+// the request clock via AdvanceTo and are charged as "io"/"device" stages
+// only when tracing; CPU cost is tracked explicitly on the request.
+func cpuOf(req *Request) vtime.Duration { return req.CPUTime }
+
+type errNoStackT int
+
+func errNoStack(id int) error { return errNoStackT(id) }
+
+func (e errNoStackT) Error() string { return "runtime: unknown stack id" }

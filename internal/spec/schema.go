@@ -1,0 +1,221 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+)
+
+// StackSpec is the parsed form of a LabStack specification file:
+//
+//	mount: fs::/b
+//	rules:
+//	  exec_mode: async      # async | sync
+//	  priority: 1
+//	  max_depth: 16
+//	  owners: [1000]
+//	mods:
+//	  - uuid: genfs1
+//	    type: labstor.genericfs
+//	    outputs: [labfs1]
+//	  - uuid: labfs1
+//	    type: labstor.labfs
+//	    attrs:
+//	      device: nvme0
+//	    outputs: [lru1]
+//	  ...
+type StackSpec struct {
+	Mount    string
+	Rules    core.Rules
+	Vertices []core.Vertex
+}
+
+// ParseStack parses a LabStack spec document.
+func ParseStack(src string) (*StackSpec, error) {
+	root, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return StackFromNode(root)
+}
+
+// StackFromNode converts a parsed document into a StackSpec.
+func StackFromNode(root *Node) (*StackSpec, error) {
+	s := &StackSpec{}
+	s.Mount = root.Str("mount", "")
+	if s.Mount == "" {
+		return nil, fmt.Errorf("spec: stack is missing 'mount'")
+	}
+	rules := root.Get("rules")
+	if rules != nil {
+		switch strings.ToLower(rules.Str("exec_mode", "async")) {
+		case "sync", "synchronous":
+			s.Rules.ExecMode = core.ExecSync
+		case "async", "asynchronous", "":
+			s.Rules.ExecMode = core.ExecAsync
+		default:
+			return nil, fmt.Errorf("spec: unknown exec_mode %q", rules.Str("exec_mode", ""))
+		}
+		s.Rules.Priority = rules.Int("priority", 0)
+		s.Rules.MaxDepth = rules.Int("max_depth", 0)
+		for _, o := range rules.Strings("owners") {
+			var uid int
+			if _, err := fmt.Sscanf(o, "%d", &uid); err == nil {
+				s.Rules.Owners = append(s.Rules.Owners, uid)
+			}
+		}
+	}
+	mods := root.Get("mods")
+	if mods == nil || !mods.IsList() {
+		return nil, fmt.Errorf("spec: stack %q has no 'mods' sequence", s.Mount)
+	}
+	seen := make(map[string]bool)
+	for i, mn := range mods.List() {
+		if !mn.IsMap() {
+			return nil, fmt.Errorf("spec: mods[%d] is not a mapping", i)
+		}
+		v := core.Vertex{
+			UUID:    mn.Str("uuid", ""),
+			Type:    mn.Str("type", ""),
+			Attrs:   mn.StringMap("attrs"),
+			Outputs: mn.Strings("outputs"),
+		}
+		if v.UUID == "" {
+			return nil, fmt.Errorf("spec: mods[%d] is missing 'uuid'", i)
+		}
+		if v.Type == "" {
+			return nil, fmt.Errorf("spec: mod %q is missing 'type'", v.UUID)
+		}
+		if seen[v.UUID] {
+			return nil, fmt.Errorf("spec: duplicate mod uuid %q", v.UUID)
+		}
+		seen[v.UUID] = true
+		s.Vertices = append(s.Vertices, v)
+	}
+	// Default chain wiring: a vertex with no outputs forwards to the next
+	// vertex in the list (the common linear-stack shorthand), except the
+	// last.
+	for i := range s.Vertices {
+		if len(s.Vertices[i].Outputs) == 0 && i+1 < len(s.Vertices) {
+			s.Vertices[i].Outputs = []string{s.Vertices[i+1].UUID}
+		}
+	}
+	return s, nil
+}
+
+// Stack materializes the spec into a core.Stack (not yet mounted).
+func (s *StackSpec) Stack() *core.Stack {
+	return core.NewStack(s.Mount, s.Rules, s.Vertices)
+}
+
+// DeviceSpec describes one simulated device in a runtime config.
+type DeviceSpec struct {
+	Name     string
+	Class    device.Class
+	Capacity int64
+}
+
+// OrchestratorSpec configures the Work Orchestrator.
+type OrchestratorSpec struct {
+	Policy          string // "round_robin" | "dynamic"
+	RebalanceMs     int    // epoch length
+	IdleParkUs      int    // worker parking threshold
+	LatencyCutoffUs int    // EstProcessingTime cutoff for LQ vs CQ
+	LossThreshold   float64
+}
+
+// RuntimeConfig is the parsed Runtime configuration YAML:
+//
+//	runtime:
+//	  workers: 4
+//	  queue_depth: 1024
+//	  upgrade_poll_ms: 5
+//	orchestrator:
+//	  policy: dynamic
+//	  rebalance_ms: 10
+//	devices:
+//	  - name: nvme0
+//	    class: nvme
+//	    capacity_mb: 4096
+//	repos:
+//	  - mods/core
+type RuntimeConfig struct {
+	Workers         int
+	QueueDepth      int
+	UpgradePollMs   int
+	MaxReposPerUser int
+	Orchestrator    OrchestratorSpec
+	Devices         []DeviceSpec
+	Repos           []string
+}
+
+// ParseRuntimeConfig parses a runtime configuration document.
+func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
+	root, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &RuntimeConfig{
+		Workers:         4,
+		QueueDepth:      1024,
+		UpgradePollMs:   5,
+		MaxReposPerUser: 8,
+		Orchestrator: OrchestratorSpec{
+			Policy:          "dynamic",
+			RebalanceMs:     10,
+			IdleParkUs:      200,
+			LatencyCutoffUs: 100,
+			LossThreshold:   0.1,
+		},
+	}
+	if rt := root.Get("runtime"); rt != nil {
+		cfg.Workers = rt.Int("workers", cfg.Workers)
+		cfg.QueueDepth = rt.Int("queue_depth", cfg.QueueDepth)
+		cfg.UpgradePollMs = rt.Int("upgrade_poll_ms", cfg.UpgradePollMs)
+		cfg.MaxReposPerUser = rt.Int("max_repos_per_user", cfg.MaxReposPerUser)
+	}
+	if or := root.Get("orchestrator"); or != nil {
+		cfg.Orchestrator.Policy = or.Str("policy", cfg.Orchestrator.Policy)
+		cfg.Orchestrator.RebalanceMs = or.Int("rebalance_ms", cfg.Orchestrator.RebalanceMs)
+		cfg.Orchestrator.IdleParkUs = or.Int("idle_park_us", cfg.Orchestrator.IdleParkUs)
+		cfg.Orchestrator.LatencyCutoffUs = or.Int("latency_cutoff_us", cfg.Orchestrator.LatencyCutoffUs)
+	}
+	if devs := root.Get("devices"); devs != nil {
+		for i, dn := range devs.List() {
+			ds := DeviceSpec{Name: dn.Str("name", "")}
+			if ds.Name == "" {
+				return nil, fmt.Errorf("spec: devices[%d] is missing 'name'", i)
+			}
+			cls, err := ParseClass(dn.Str("class", "nvme"))
+			if err != nil {
+				return nil, err
+			}
+			ds.Class = cls
+			ds.Capacity = dn.Int64("capacity_mb", 1024) << 20
+			if gb := dn.Int64("capacity_gb", 0); gb > 0 {
+				ds.Capacity = gb << 30
+			}
+			cfg.Devices = append(cfg.Devices, ds)
+		}
+	}
+	cfg.Repos = root.Strings("repos")
+	return cfg, nil
+}
+
+// ParseClass maps a class name to a device.Class.
+func ParseClass(s string) (device.Class, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "hdd", "disk":
+		return device.HDD, nil
+	case "ssd", "sata_ssd", "satassd":
+		return device.SATASSD, nil
+	case "nvme":
+		return device.NVMe, nil
+	case "pmem", "pm", "nvram":
+		return device.PMEM, nil
+	default:
+		return device.NVMe, fmt.Errorf("spec: unknown device class %q", s)
+	}
+}

@@ -1,0 +1,371 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+)
+
+func TestParseScalarsAndMaps(t *testing.T) {
+	n, err := Parse(`
+name: hello
+count: 42
+big: 9000000000
+flag: true
+quoted: "a: b # not a comment"
+empty:
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Str("name", "") != "hello" {
+		t.Fatal("name")
+	}
+	if n.Int("count", 0) != 42 {
+		t.Fatal("count")
+	}
+	if n.Int64("big", 0) != 9000000000 {
+		t.Fatal("big")
+	}
+	if !n.Bool("flag", false) {
+		t.Fatal("flag")
+	}
+	if n.Str("quoted", "") != "a: b # not a comment" {
+		t.Fatal("quoted:", n.Str("quoted", ""))
+	}
+	if n.Str("empty", "sentinel") != "" {
+		t.Fatal("empty value")
+	}
+	if n.Str("missing", "def") != "def" || n.Int("missing", 7) != 7 || !n.Bool("missing", true) {
+		t.Fatal("defaults")
+	}
+}
+
+func TestParseNesting(t *testing.T) {
+	n, err := Parse(`
+outer:
+  inner:
+    deep: value
+  sibling: x
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := n.Get("outer").Get("inner")
+	if inner.Str("deep", "") != "value" {
+		t.Fatal("deep nesting")
+	}
+	if n.Get("outer").Str("sibling", "") != "x" {
+		t.Fatal("sibling after dedent")
+	}
+	if keys := n.Get("outer").Keys(); len(keys) != 2 || keys[0] != "inner" {
+		t.Fatalf("key order %v", keys)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	n, err := Parse(`
+block:
+  - one
+  - two
+flow: [a, b, "c, d"]
+maps:
+  - name: first
+    value: 1
+  - name: second
+    value: 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Strings("block"); len(got) != 2 || got[1] != "two" {
+		t.Fatalf("block list %v", got)
+	}
+	if got := n.Strings("flow"); len(got) != 3 || got[2] != "c, d" {
+		t.Fatalf("flow list %v", got)
+	}
+	maps := n.Get("maps").List()
+	if len(maps) != 2 || maps[1].Str("name", "") != "second" || maps[1].Int("value", 0) != 2 {
+		t.Fatal("list of maps")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	n, err := Parse(`
+# full-line comment
+key: value # trailing comment
+url: "http://x#y"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Str("key", "") != "value" {
+		t.Fatalf("trailing comment not stripped: %q", n.Str("key", ""))
+	}
+	if n.Str("url", "") != "http://x#y" {
+		t.Fatal("hash inside quotes stripped")
+	}
+}
+
+func TestParseMountWithDoubleColon(t *testing.T) {
+	n, err := Parse("mount: fs::/data/sub\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Str("mount", "") != "fs::/data/sub" {
+		t.Fatalf("mount %q", n.Str("mount", ""))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("\tkey: value\n"); err == nil {
+		t.Fatal("tab indentation accepted")
+	}
+	if _, err := Parse("key: [unterminated\n"); err == nil {
+		t.Fatal("unterminated flow accepted")
+	}
+	if _, err := Parse("just a bare scalar line\n"); err == nil {
+		t.Fatal("bare scalar at top level accepted")
+	}
+	var pe *ParseError
+	_, err := Parse("\tx: 1\n")
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error without line info: %v", err)
+	}
+	_ = pe
+}
+
+func TestParseEmptyDocument(t *testing.T) {
+	n, err := Parse("\n# only comments\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsMap() || len(n.Keys()) != 0 {
+		t.Fatal("empty doc must be an empty map")
+	}
+}
+
+func TestStringMapAndAccessors(t *testing.T) {
+	n, _ := Parse(`
+attrs:
+  device: nvme0
+  log_mb: "16"
+single: alone
+`)
+	m := n.StringMap("attrs")
+	if m["device"] != "nvme0" || m["log_mb"] != "16" {
+		t.Fatalf("string map %v", m)
+	}
+	if got := n.Strings("single"); len(got) != 1 || got[0] != "alone" {
+		t.Fatal("scalar-as-list")
+	}
+	if n.StringMap("missing") != nil {
+		t.Fatal("missing map")
+	}
+}
+
+const sampleStack = `
+mount: fs::/data
+rules:
+  exec_mode: sync
+  priority: 3
+  max_depth: 8
+  owners: [1000, 1001]
+mods:
+  - uuid: genfs
+    type: labstor.genericfs
+  - uuid: fs
+    type: labstor.labfs
+    attrs:
+      device: nvme0
+      log_mb: "8"
+    outputs: [drv]
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: nvme0
+`
+
+func TestParseStack(t *testing.T) {
+	ss, err := ParseStack(sampleStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Mount != "fs::/data" {
+		t.Fatal("mount")
+	}
+	if ss.Rules.ExecMode != core.ExecSync || ss.Rules.Priority != 3 || ss.Rules.MaxDepth != 8 {
+		t.Fatalf("rules %+v", ss.Rules)
+	}
+	if len(ss.Rules.Owners) != 2 || ss.Rules.Owners[1] != 1001 {
+		t.Fatalf("owners %v", ss.Rules.Owners)
+	}
+	if len(ss.Vertices) != 3 {
+		t.Fatal("vertices")
+	}
+	// Implicit chain wiring: genfs got no outputs -> next vertex.
+	if ss.Vertices[0].Outputs[0] != "fs" {
+		t.Fatalf("implicit wiring %v", ss.Vertices[0].Outputs)
+	}
+	// Explicit outputs preserved.
+	if ss.Vertices[1].Outputs[0] != "drv" {
+		t.Fatal("explicit outputs")
+	}
+	if ss.Vertices[1].Attrs["log_mb"] != "8" {
+		t.Fatal("attrs")
+	}
+	st := ss.Stack()
+	if st.Entry() != "genfs" {
+		t.Fatal("stack materialization")
+	}
+}
+
+func TestParseStackErrors(t *testing.T) {
+	cases := []string{
+		"mods:\n  - uuid: a\n    type: t\n", // no mount
+		"mount: m\n",                        // no mods
+		"mount: m\nmods:\n  - type: t\n",    // missing uuid
+		"mount: m\nmods:\n  - uuid: a\n",    // missing type
+		"mount: m\nmods:\n  - uuid: a\n    type: t\n  - uuid: a\n    type: t\n",      // dup uuid
+		"mount: m\nrules:\n  exec_mode: sideways\nmods:\n  - uuid: a\n    type: t\n", // bad exec mode
+	}
+	for i, src := range cases {
+		if _, err := ParseStack(src); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, src)
+		}
+	}
+}
+
+const sampleRuntime = `
+runtime:
+  workers: 12
+  queue_depth: 2048
+  upgrade_poll_ms: 7
+orchestrator:
+  policy: dynamic
+  rebalance_ms: 20
+devices:
+  - name: nvme0
+    class: nvme
+    capacity_gb: 2
+  - name: disk0
+    class: hdd
+    capacity_mb: 512
+repos:
+  - mods/core
+  - mods/extra
+`
+
+func TestParseRuntimeConfig(t *testing.T) {
+	cfg, err := ParseRuntimeConfig(sampleRuntime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 12 || cfg.QueueDepth != 2048 || cfg.UpgradePollMs != 7 {
+		t.Fatalf("runtime section %+v", cfg)
+	}
+	if cfg.Orchestrator.Policy != "dynamic" || cfg.Orchestrator.RebalanceMs != 20 {
+		t.Fatalf("orchestrator %+v", cfg.Orchestrator)
+	}
+	if len(cfg.Devices) != 2 {
+		t.Fatal("devices")
+	}
+	if cfg.Devices[0].Class != device.NVMe || cfg.Devices[0].Capacity != 2<<30 {
+		t.Fatalf("device 0 %+v", cfg.Devices[0])
+	}
+	if cfg.Devices[1].Class != device.HDD || cfg.Devices[1].Capacity != 512<<20 {
+		t.Fatalf("device 1 %+v", cfg.Devices[1])
+	}
+	if len(cfg.Repos) != 2 {
+		t.Fatal("repos")
+	}
+}
+
+func TestParseRuntimeConfigDefaults(t *testing.T) {
+	cfg, err := ParseRuntimeConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 4 || cfg.QueueDepth != 1024 {
+		t.Fatalf("defaults %+v", cfg)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]device.Class{
+		"hdd": device.HDD, "ssd": device.SATASSD, "nvme": device.NVMe,
+		"pmem": device.PMEM, "NVMe": device.NVMe,
+	} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseClass("floppy"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestParseNestedListDash(t *testing.T) {
+	n, err := Parse(`
+items:
+  -
+    name: bare-dash
+  - name: inline
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := n.Get("items").List()
+	if len(items) != 2 {
+		t.Fatalf("items %d", len(items))
+	}
+	if items[0].Str("name", "") != "bare-dash" || items[1].Str("name", "") != "inline" {
+		t.Fatalf("items %v %v", items[0], items[1])
+	}
+}
+
+func TestParseEmptyFlowList(t *testing.T) {
+	n, err := Parse("xs: []\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Strings("xs"); len(got) != 0 {
+		t.Fatalf("empty flow list %v", got)
+	}
+	if !n.Get("xs").IsList() {
+		t.Fatal("not a list")
+	}
+}
+
+func TestNodeAccessorsOnWrongKinds(t *testing.T) {
+	n, _ := Parse("lst: [a]\nmp:\n  k: v\n")
+	if n.Str("lst", "d") != "d" {
+		t.Fatal("Str on list must default")
+	}
+	if n.Int("mp", 3) != 3 {
+		t.Fatal("Int on map must default")
+	}
+	if n.Get("mp").IsScalar() || !n.Get("mp").IsMap() {
+		t.Fatal("kind predicates")
+	}
+	var nilNode *Node
+	if nilNode.Scalar() != "" || nilNode.List() != nil || nilNode.Keys() != nil || nilNode.Get("x") != nil {
+		t.Fatal("nil node accessors")
+	}
+	if nilNode.IsScalar() || nilNode.IsList() || nilNode.IsMap() {
+		t.Fatal("nil node kinds")
+	}
+}
+
+func TestParseSingleQuotes(t *testing.T) {
+	n, err := Parse("k: 'single # quoted'\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Str("k", "") != "single # quoted" {
+		t.Fatalf("%q", n.Str("k", ""))
+	}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 6, 8} {
+		s.Observe(x)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 20 {
+		t.Fatalf("sum %v", s.Sum())
+	}
+	// Sample variance of {2,4,6,8} = 20/3.
+	if math.Abs(s.Variance()-20.0/3.0) > 1e-9 {
+		t.Fatalf("variance %v", s.Variance())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(20.0/3.0)) > 1e-9 {
+		t.Fatalf("stddev %v", s.Stddev())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Count() != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestSummaryConcurrent(t *testing.T) {
+	var s Summary
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 4000 || s.Mean() != 1 {
+		t.Fatalf("concurrent: count=%d mean=%v", s.Count(), s.Mean())
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	p := NewSample(100)
+	for i := 1; i <= 100; i++ {
+		p.Observe(float64(i))
+	}
+	if p.Percentile(50) != 50 {
+		t.Fatalf("p50 = %v", p.Percentile(50))
+	}
+	if p.Percentile(99) != 99 {
+		t.Fatalf("p99 = %v", p.Percentile(99))
+	}
+	if p.Min() != 1 || p.Max() != 100 {
+		t.Fatalf("min/max %v/%v", p.Min(), p.Max())
+	}
+	if p.Mean() != 50.5 {
+		t.Fatalf("mean %v", p.Mean())
+	}
+	// Observing after a percentile query re-sorts correctly.
+	p.Observe(1000)
+	if p.Max() != 1000 {
+		t.Fatalf("max after new observation: %v", p.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	p := NewSample(0)
+	if p.Percentile(50) != 0 || p.Mean() != 0 || p.Count() != 0 {
+		t.Fatal("empty sample must be zero")
+	}
+}
+
+func TestSamplePercentileMonotonicQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		p := NewSample(len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			p.Observe(x)
+		}
+		last := math.Inf(-1)
+		for q := 0.0; q <= 100; q += 10 {
+			v := p.Percentile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		// Percentiles are always actual observations (nearest-rank).
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return p.Percentile(50) == sorted[int(math.Ceil(0.5*float64(len(sorted))))-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(100) // bucket [64,128)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != 100 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	q := h.Quantile(0.5)
+	if q < 64 || q > 128 {
+		t.Fatalf("median %v outside bucket", q)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count() != 1 {
+		t.Fatal("negative observation dropped")
+	}
+	if q := h.Quantile(0.5); q < 0 || q > 1 {
+		t.Fatalf("clamped observation quantile %v", q)
+	}
+}
+
+func TestThroughputAndMBps(t *testing.T) {
+	if Throughput(100, 2) != 50 {
+		t.Fatal("Throughput")
+	}
+	if Throughput(100, 0) != 0 {
+		t.Fatal("Throughput zero-division")
+	}
+	if MBps(2<<20, 2) != 1 {
+		t.Fatal("MBps")
+	}
+	if MBps(1, 0) != 0 {
+		t.Fatal("MBps zero-division")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"Name", "Value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator line: %q", lines[1])
+	}
+}

@@ -1,0 +1,265 @@
+// Package vtime provides the virtual-time substrate used by every
+// performance experiment in this repository.
+//
+// The paper's evaluation measures wall-clock latency and IOPS on bare-metal
+// storage hardware (NVMe, SATA SSD, HDD, emulated PMEM). None of that
+// hardware exists here, so latency is *modeled*: each request accumulates
+// virtual nanoseconds as it crosses software stages and simulated devices,
+// and queueing/contention effects emerge from per-entity virtual clocks
+// (see Clock, Lock and the device models in internal/device).
+//
+// Virtual time is deliberately decoupled from wall-clock time: results are
+// deterministic for deterministic workloads, independent of host speed, GC
+// pauses and scheduling noise, and reproducible on a single CPU.
+package vtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Time is an absolute point on a virtual timeline, in nanoseconds since the
+// start of the experiment.
+type Time int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String formats a Duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	}
+}
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Add returns the point d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clock is a monotonically advancing virtual clock owned by one logical
+// entity (a worker, a client thread, a device channel). It is safe for
+// concurrent use; AdvanceTo never moves the clock backwards.
+type Clock struct {
+	now atomic.Int64
+}
+
+// Now returns the clock's current virtual time.
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *Clock) Advance(d Duration) Time {
+	if d < 0 {
+		d = 0
+	}
+	return Time(c.now.Add(int64(d)))
+}
+
+// AdvanceTo moves the clock to at least t and returns the resulting time
+// (which may be later than t if another goroutine advanced it further).
+func (c *Clock) AdvanceTo(t Time) Time {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return Time(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
+	}
+}
+
+// StartService models FCFS service at a single server: given a request that
+// arrived at arrival, service begins at max(arrival, clock) and the clock is
+// advanced to begin+busy. It returns the service start time.
+func (c *Clock) StartService(arrival Time, busy Duration) Time {
+	for {
+		cur := Time(c.now.Load())
+		begin := MaxTime(arrival, cur)
+		end := begin.Add(busy)
+		if c.now.CompareAndSwap(int64(cur), int64(end)) {
+			return begin
+		}
+	}
+}
+
+// Lock is a virtual-time mutex: a contended resource whose hold times
+// serialize in virtual time. It reproduces the behaviour of in-kernel locks
+// (directory mutexes, journal locks) that the paper identifies as the
+// scalability bottleneck of kernel filesystems.
+//
+// Every entity in this simulation owns an independent virtual clock, and
+// entities reach the lock in arbitrary *real* order — a goroutine may run a
+// long burst, pushing its clock far ahead, before a logically concurrent
+// goroutine presents requests with earlier virtual arrival times. The lock
+// therefore reconstructs the serialized timeline instead of chaining
+// absolute release times: it maintains the set of busy periods (intervals
+// of back-to-back serial work), inserts each new hold at its virtual
+// arrival point, and cascade-shifts any later busy periods that the
+// insertion now overlaps. A requester queues only behind work that
+// logically preceded-or-overlapped it, never behind work from another
+// entity's future.
+type Lock struct {
+	mu      sync.Mutex
+	periods []busyPeriod // sorted by start, non-overlapping
+}
+
+// busyPeriod is a maximal interval of back-to-back serial lock work.
+type busyPeriod struct {
+	start Time
+	end   Time
+}
+
+// maxLockPeriods bounds Lock memory; the oldest periods merge when exceeded.
+const maxLockPeriods = 128
+
+// Acquire models acquiring the lock at virtual time now and holding it for
+// hold. It returns the virtual time at which the lock was released to the
+// caller, i.e. the caller's new local time.
+func (l *Lock) Acquire(now Time, hold Duration) Time {
+	if hold < 0 {
+		hold = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// Find the busy period containing the arrival (the last period with
+	// start <= now and end > now).
+	i := 0
+	for i < len(l.periods) && l.periods[i].end <= now {
+		i++
+	}
+	var release Time
+	if i < len(l.periods) && l.periods[i].start <= now {
+		// Arrival inside period i: the new work queues at the period's end.
+		release = l.periods[i].end.Add(hold)
+		l.periods[i].end = release
+	} else {
+		// Arrival in a gap (or beyond all periods): immediate grant; a new
+		// busy period begins at the arrival.
+		release = now.Add(hold)
+		l.periods = append(l.periods, busyPeriod{})
+		copy(l.periods[i+1:], l.periods[i:])
+		l.periods[i] = busyPeriod{start: now, end: release}
+	}
+	// Cascade: shifting period i may now overlap later periods — their work
+	// serializes behind it.
+	for i+1 < len(l.periods) && l.periods[i+1].start < l.periods[i].end {
+		w := l.periods[i+1].end.Sub(l.periods[i+1].start)
+		l.periods[i].end = l.periods[i].end.Add(w)
+		l.periods = append(l.periods[:i+1], l.periods[i+2:]...)
+	}
+	// Bound memory by merging the two oldest periods.
+	for len(l.periods) > maxLockPeriods {
+		w := l.periods[1].end.Sub(l.periods[1].start)
+		l.periods[0].end = l.periods[0].end.Add(w)
+		l.periods = append(l.periods[:1], l.periods[2:]...)
+	}
+	return release
+}
+
+// Horizon returns the end of the lock's latest busy period (0 if never
+// used) — a load proxy for steering decisions.
+func (l *Lock) Horizon() Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.periods) == 0 {
+		return 0
+	}
+	return l.periods[len(l.periods)-1].end
+}
+
+// Backlog reports the serial work remaining at virtual time now.
+func (l *Lock) Backlog(now Time) Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range l.periods {
+		if p.start <= now && now < p.end {
+			return p.end.Sub(now)
+		}
+	}
+	return 0
+}
+
+// Server models a station with n parallel FCFS channels (e.g. an NVMe
+// device's internal parallelism). Each channel is a busy-period Lock, so
+// work submitted out of real-time order still lands at its virtual arrival
+// point. Work goes to the channel with the earliest horizon.
+type Server struct {
+	mu    sync.Mutex
+	chans []Lock
+}
+
+// NewServer returns a Server with n parallel channels. n < 1 is treated as 1.
+func NewServer(n int) *Server {
+	if n < 1 {
+		n = 1
+	}
+	return &Server{chans: make([]Lock, n)}
+}
+
+// Parallelism returns the number of channels.
+func (s *Server) Parallelism() int { return len(s.chans) }
+
+// Serve submits a unit of work arriving at arrival with service time busy,
+// and returns (start, completion) in virtual time.
+func (s *Server) Serve(arrival Time, busy Duration) (Time, Time) {
+	s.mu.Lock()
+	best := 0
+	bestH := s.chans[0].Horizon()
+	for i := 1; i < len(s.chans); i++ {
+		if h := s.chans[i].Horizon(); h < bestH {
+			best, bestH = i, h
+		}
+	}
+	s.mu.Unlock()
+	end := s.chans[best].Acquire(arrival, busy)
+	return end.Add(-busy), end
+}
+
+// Horizon returns the completion time of the most loaded channel — the
+// virtual time at which the server becomes fully idle.
+func (s *Server) Horizon() Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var h Time
+	for i := range s.chans {
+		if c := s.chans[i].Horizon(); c > h {
+			h = c
+		}
+	}
+	return h
+}

@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"labstor/internal/stats"
+	"labstor/internal/vtime"
+)
+
+// FilebenchJob runs one of the four Filebench personalities the paper uses
+// (default-configuration op mixes, scaled to simulation size):
+//
+//	varmail:    mail-server pattern — create/append/fsync/read/delete over
+//	            many small files (16KB mean), 16 threads default;
+//	webserver:  whole-file reads of small files plus a shared append log;
+//	webproxy:   create/write then repeated reads (proxy cache churn);
+//	fileserver: create/append/read/delete of larger files (128KB mean).
+type FilebenchJob struct {
+	Personality string
+	Threads     int
+	Files       int // file population per thread
+	Iterations  int // op-loop iterations per thread
+	Seed        int64
+}
+
+// FilebenchResult summarizes a run.
+type FilebenchResult struct {
+	Job       FilebenchJob
+	Ops       int64
+	Bytes     int64
+	ElapsedV  vtime.Duration
+	OpsPerSec float64
+	MBps      float64
+}
+
+// personalities maps a name to its per-iteration op script.
+type fbScript struct {
+	meanFile   int // bytes
+	appendSize int
+	readWhole  bool
+	script     func(p *fbThread) error
+}
+
+type fbThread struct {
+	actor   Actor
+	rng     *rand.Rand
+	dir     string
+	files   int
+	size    int
+	appendN int
+	ops     int64
+	bytes   int64
+	log     string
+	cursor  int
+}
+
+func (p *fbThread) file(i int) string { return fmt.Sprintf("%s/f%06d", p.dir, i) }
+
+func (p *fbThread) pick() int { return p.rng.Intn(p.files) }
+
+func (p *fbThread) payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(p.rng.Intn(256))
+	}
+	return b
+}
+
+// varmail: delete-create-append-fsync-read cycle (classic mail spool).
+func varmailScript(p *fbThread) error {
+	i := p.pick()
+	path := p.file(i)
+	_ = p.actor.Unlink(path) // may not exist
+	if err := p.actor.Create(path); err != nil {
+		return err
+	}
+	data := p.payload(p.size)
+	if err := p.actor.Write(path, 0, data); err != nil {
+		return err
+	}
+	if err := p.actor.Fsync(path); err != nil {
+		return err
+	}
+	buf := make([]byte, p.size)
+	if _, err := p.actor.Read(path, 0, buf); err != nil {
+		return err
+	}
+	// Second append+fsync+read pass, as in the default varmail flowlet.
+	if err := p.actor.Write(path, int64(p.size), p.payload(p.appendN)); err != nil {
+		return err
+	}
+	if err := p.actor.Fsync(path); err != nil {
+		return err
+	}
+	p.ops += 7
+	p.bytes += int64(p.size*2 + p.appendN)
+	return nil
+}
+
+// webserver: ten whole-file reads plus one log append.
+func webserverScript(p *fbThread) error {
+	buf := make([]byte, p.size)
+	for i := 0; i < 10; i++ {
+		path := p.file(p.pick())
+		if _, err := p.actor.Read(path, 0, buf); err != nil {
+			return err
+		}
+		p.ops++
+		p.bytes += int64(p.size)
+	}
+	if err := p.actor.Write(p.log, int64(p.cursor), p.payload(p.appendN)); err != nil {
+		return err
+	}
+	p.cursor += p.appendN
+	p.ops++
+	p.bytes += int64(p.appendN)
+	return nil
+}
+
+// webproxy: delete-create-write then five reads.
+func webproxyScript(p *fbThread) error {
+	i := p.pick()
+	path := p.file(i)
+	_ = p.actor.Unlink(path)
+	if err := p.actor.Create(path); err != nil {
+		return err
+	}
+	if err := p.actor.Write(path, 0, p.payload(p.size)); err != nil {
+		return err
+	}
+	buf := make([]byte, p.size)
+	for j := 0; j < 5; j++ {
+		if _, err := p.actor.Read(p.file(p.pick()), 0, buf); err != nil {
+			return err
+		}
+		p.ops++
+		p.bytes += int64(p.size)
+	}
+	p.ops += 3
+	p.bytes += int64(p.size)
+	return nil
+}
+
+// fileserver: create-append-read-delete with stat, larger files.
+func fileserverScript(p *fbThread) error {
+	i := p.pick()
+	path := p.file(i)
+	if err := p.actor.Create(path); err != nil {
+		return err
+	}
+	if err := p.actor.Write(path, 0, p.payload(p.size)); err != nil {
+		return err
+	}
+	if err := p.actor.Write(path, int64(p.size), p.payload(p.appendN)); err != nil {
+		return err
+	}
+	buf := make([]byte, p.size)
+	if _, err := p.actor.Read(path, 0, buf); err != nil {
+		return err
+	}
+	if _, err := p.actor.Stat(path); err != nil {
+		return err
+	}
+	if err := p.actor.Unlink(path); err != nil {
+		return err
+	}
+	p.ops += 6
+	p.bytes += int64(2*p.size + p.appendN)
+	return nil
+}
+
+func scriptFor(name string) (fbScript, error) {
+	switch name {
+	case "varmail":
+		return fbScript{meanFile: 16 << 10, appendSize: 8 << 10, script: varmailScript}, nil
+	case "webserver":
+		return fbScript{meanFile: 16 << 10, appendSize: 8 << 10, readWhole: true, script: webserverScript}, nil
+	case "webproxy":
+		return fbScript{meanFile: 16 << 10, appendSize: 8 << 10, script: webproxyScript}, nil
+	case "fileserver":
+		return fbScript{meanFile: 128 << 10, appendSize: 16 << 10, script: fileserverScript}, nil
+	default:
+		return fbScript{}, fmt.Errorf("workload: unknown filebench personality %q", name)
+	}
+}
+
+// RunFilebench executes a personality and returns virtual-time results.
+func RunFilebench(fs FS, job FilebenchJob) (*FilebenchResult, error) {
+	sc, err := scriptFor(job.Personality)
+	if err != nil {
+		return nil, err
+	}
+	if job.Threads < 1 {
+		job.Threads = 1
+	}
+	if job.Files < 1 {
+		job.Files = 64
+	}
+	if job.Iterations < 1 {
+		job.Iterations = 10
+	}
+	res := &FilebenchResult{Job: job}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := make([]error, job.Threads)
+	elapsed := make([]vtime.Duration, job.Threads)
+
+	for th := 0; th < job.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			actor := fs.NewActor(th)
+			p := &fbThread{
+				actor:   actor,
+				rng:     rand.New(rand.NewSource(job.Seed + int64(th)*104729)),
+				dir:     fmt.Sprintf("fb/%s%d", job.Personality, th),
+				files:   job.Files,
+				size:    sc.meanFile,
+				appendN: sc.appendSize,
+				log:     fmt.Sprintf("fb/%s%d/weblog", job.Personality, th),
+			}
+			// Preallocate the file population.
+			for i := 0; i < job.Files; i++ {
+				if err := p.actor.Write(p.file(i), 0, p.payload(p.size)); err != nil {
+					errs[th] = err
+					return
+				}
+			}
+			if err := p.actor.Create(p.log); err != nil {
+				errs[th] = err
+				return
+			}
+			start := actor.Now()
+			for it := 0; it < job.Iterations; it++ {
+				if err := sc.script(p); err != nil {
+					errs[th] = err
+					return
+				}
+			}
+			elapsed[th] = actor.Now().Sub(start)
+			mu.Lock()
+			res.Ops += p.ops
+			res.Bytes += p.bytes
+			mu.Unlock()
+		}(th)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range elapsed {
+		if e > res.ElapsedV {
+			res.ElapsedV = e
+		}
+	}
+	res.OpsPerSec = stats.Throughput(res.Ops, res.ElapsedV.Seconds())
+	res.MBps = stats.MBps(res.Bytes, res.ElapsedV.Seconds())
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"labstor/internal/stats"
+	"labstor/internal/vtime"
+)
+
+// FioJob describes a FIO-style synthetic I/O job: N threads each issuing
+// TotalBytes of I/O in BlockSize requests, randomly or sequentially, over a
+// private file/region.
+type FioJob struct {
+	Name       string
+	Threads    int
+	BlockSize  int
+	TotalBytes int64 // per thread
+	Random     bool
+	ReadRatio  float64 // 0 = all writes, 1 = all reads
+	FileSize   int64   // region each thread works over (default TotalBytes)
+	Seed       int64
+}
+
+// FioResult summarizes one job run.
+type FioResult struct {
+	Job       FioJob
+	Ops       int64
+	Bytes     int64
+	ElapsedV  vtime.Duration // max over threads
+	Latency   *stats.Sample
+	IOPS      float64
+	Bandwidth float64 // MiB/s
+}
+
+// RunFio executes the job against the filesystem and returns virtual-time
+// results. Threads run concurrently (real goroutines); all performance
+// numbers come from virtual clocks.
+func RunFio(fs FS, job FioJob) (*FioResult, error) {
+	if job.Threads < 1 {
+		job.Threads = 1
+	}
+	if job.FileSize == 0 {
+		job.FileSize = job.TotalBytes
+	}
+	if job.BlockSize <= 0 {
+		job.BlockSize = 4096
+	}
+	res := &FioResult{Job: job, Latency: stats.NewSample(int(job.TotalBytes / int64(job.BlockSize) * int64(job.Threads)))}
+	var wg sync.WaitGroup
+	errs := make([]error, job.Threads)
+	elapsed := make([]vtime.Duration, job.Threads)
+	var mu sync.Mutex
+
+	for th := 0; th < job.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			actor := fs.NewActor(th)
+			rng := rand.New(rand.NewSource(job.Seed + int64(th)*7919))
+			path := fmt.Sprintf("fio/%s.%d", job.Name, th)
+			buf := make([]byte, job.BlockSize)
+			for i := range buf {
+				buf[i] = byte(rng.Intn(256))
+			}
+			if err := actor.Create(path); err != nil {
+				errs[th] = err
+				return
+			}
+			start := actor.Now()
+			nOps := job.TotalBytes / int64(job.BlockSize)
+			maxBlocks := job.FileSize / int64(job.BlockSize)
+			if maxBlocks < 1 {
+				maxBlocks = 1
+			}
+			var ops, bytes int64
+			for i := int64(0); i < nOps; i++ {
+				var off int64
+				if job.Random {
+					off = rng.Int63n(maxBlocks) * int64(job.BlockSize)
+				} else {
+					off = (i % maxBlocks) * int64(job.BlockSize)
+				}
+				opStart := actor.Now()
+				var err error
+				if rng.Float64() < job.ReadRatio {
+					_, err = actor.Read(path, off, buf)
+				} else {
+					err = actor.Write(path, off, buf)
+				}
+				if err != nil {
+					errs[th] = err
+					return
+				}
+				lat := actor.Now().Sub(opStart)
+				mu.Lock()
+				res.Latency.Observe(float64(lat))
+				mu.Unlock()
+				ops++
+				bytes += int64(job.BlockSize)
+			}
+			elapsed[th] = actor.Now().Sub(start)
+			mu.Lock()
+			res.Ops += ops
+			res.Bytes += bytes
+			mu.Unlock()
+		}(th)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range elapsed {
+		if e > res.ElapsedV {
+			res.ElapsedV = e
+		}
+	}
+	secs := res.ElapsedV.Seconds()
+	res.IOPS = stats.Throughput(res.Ops, secs)
+	res.Bandwidth = stats.MBps(res.Bytes, secs)
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"labstor/internal/core"
+	"labstor/internal/ipc"
+	"labstor/internal/runtime"
+	"labstor/internal/stats"
+	"labstor/internal/vtime"
+)
+
+// KVActor is a per-thread handle onto a key-value store.
+type KVActor interface {
+	Put(key string, value []byte) error
+	Get(key string) ([]byte, error)
+	Del(key string) error
+	Now() vtime.Time
+}
+
+// KVStore creates per-thread KV actors.
+type KVStore interface {
+	Name() string
+	NewKVActor(core int) KVActor
+}
+
+// LabStorKVS adapts a mounted LabKVS stack to the KV workload interface.
+type LabStorKVS struct {
+	KVName string
+	RT     *runtime.Runtime
+	Mount  string
+}
+
+// Name returns the configured display name.
+func (l *LabStorKVS) Name() string { return l.KVName }
+
+// NewKVActor connects a fresh client.
+func (l *LabStorKVS) NewKVActor(coreID int) KVActor {
+	cli := l.RT.Connect(ipc.Credentials{PID: 20000 + coreID, UID: 1000, GID: 1000})
+	cli.OriginCore = coreID
+	return &labKVActor{cli: cli, mount: l.Mount}
+}
+
+type labKVActor struct {
+	cli   *runtime.Client
+	mount string
+}
+
+func (a *labKVActor) Put(key string, value []byte) error {
+	req, err := a.cli.Call(a.mount, core.OpPut, func(r *core.Request) {
+		r.Key = key
+		r.Size = len(value)
+		r.Data = value
+	})
+	if err != nil {
+		return err
+	}
+	return req.Err
+}
+
+func (a *labKVActor) Get(key string) ([]byte, error) {
+	req, err := a.cli.Call(a.mount, core.OpGet, func(r *core.Request) { r.Key = key })
+	if err != nil {
+		return nil, err
+	}
+	if req.Err != nil {
+		return nil, req.Err
+	}
+	return req.Value, nil
+}
+
+func (a *labKVActor) Del(key string) error {
+	req, err := a.cli.Call(a.mount, core.OpDel, func(r *core.Request) { r.Key = key })
+	if err != nil {
+		return err
+	}
+	return req.Err
+}
+
+func (a *labKVActor) Now() vtime.Time { return a.cli.Clock() }
+
+// fileKVAdapter implements the LABIOS "file translation" baseline: each
+// label becomes a UNIX file, and each put triggers the open-seek-write-close
+// sequence of POSIX calls the paper describes as the common pattern of
+// distributed NoSQL and KV stores built over filesystems.
+type fileKVAdapter struct {
+	fs FS
+}
+
+// FileKV wraps a filesystem as a KV store via file translation.
+func FileKV(fs FS) KVStore { return &fileKVAdapter{fs: fs} }
+
+func (f *fileKVAdapter) Name() string { return f.fs.Name() + "-filekv" }
+
+func (f *fileKVAdapter) NewKVActor(coreID int) KVActor {
+	return &fileKVActor{actor: f.fs.NewActor(coreID)}
+}
+
+type fileKVActor struct {
+	actor Actor
+}
+
+func (a *fileKVActor) path(key string) string { return "labels/" + key }
+
+// Put = open(O_CREAT) + seek/ftruncate + write + close: four calls through
+// the whole stack instead of LabKVS's one.
+func (a *fileKVActor) Put(key string, value []byte) error {
+	p := a.path(key)
+	if err := a.actor.Create(p); err != nil { // fopen
+		return err
+	}
+	if _, err := a.actor.Stat(p); err != nil { // fseek/ftruncate
+		return err
+	}
+	if err := a.actor.Write(p, 0, value); err != nil { // fwrite
+		return err
+	}
+	return a.actor.Fsync(p) // fclose (flush)
+}
+
+func (a *fileKVActor) Get(key string) ([]byte, error) {
+	p := a.path(key)
+	size, err := a.actor.Stat(p) // fopen+fseek
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if _, err := a.actor.Read(p, 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (a *fileKVActor) Del(key string) error { return a.actor.Unlink(a.path(key)) }
+
+func (a *fileKVActor) Now() vtime.Time { return a.actor.Now() }
+
+// LabiosJob models the LABIOS worker I/O: a stream of label store/retrieve
+// operations of LabelSize bytes each.
+type LabiosJob struct {
+	Threads   int
+	Labels    int // per thread
+	LabelSize int
+	ReadBack  bool // also retrieve each label
+	Seed      int64
+}
+
+// LabiosResult summarizes a run.
+type LabiosResult struct {
+	Job       LabiosJob
+	Ops       int64
+	Bytes     int64
+	ElapsedV  vtime.Duration
+	OpsPerSec float64
+	MBps      float64
+}
+
+// RunLabios executes the label workload against a KV store (native or
+// file-translated).
+func RunLabios(kv KVStore, job LabiosJob) (*LabiosResult, error) {
+	if job.Threads < 1 {
+		job.Threads = 1
+	}
+	if job.LabelSize <= 0 {
+		job.LabelSize = 8 << 10
+	}
+	res := &LabiosResult{Job: job}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := make([]error, job.Threads)
+	elapsed := make([]vtime.Duration, job.Threads)
+
+	for th := 0; th < job.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			actor := kv.NewKVActor(th)
+			rng := rand.New(rand.NewSource(job.Seed + int64(th)))
+			value := make([]byte, job.LabelSize)
+			for i := range value {
+				value[i] = byte(rng.Intn(256))
+			}
+			start := actor.Now()
+			var ops, bytes int64
+			for i := 0; i < job.Labels; i++ {
+				key := fmt.Sprintf("label-%d-%06d", th, i)
+				if err := actor.Put(key, value); err != nil {
+					errs[th] = err
+					return
+				}
+				ops++
+				bytes += int64(job.LabelSize)
+				if job.ReadBack {
+					got, err := actor.Get(key)
+					if err != nil {
+						errs[th] = err
+						return
+					}
+					ops++
+					bytes += int64(len(got))
+				}
+			}
+			elapsed[th] = actor.Now().Sub(start)
+			mu.Lock()
+			res.Ops += ops
+			res.Bytes += bytes
+			mu.Unlock()
+		}(th)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range elapsed {
+		if e > res.ElapsedV {
+			res.ElapsedV = e
+		}
+	}
+	res.OpsPerSec = stats.Throughput(res.Ops, res.ElapsedV.Seconds())
+	res.MBps = stats.MBps(res.Bytes, res.ElapsedV.Seconds())
+	return res, nil
+}

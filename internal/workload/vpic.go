@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"labstor/internal/stats"
+	"labstor/internal/vtime"
+)
+
+// VPICJob models the paper's VPIC particle-simulation I/O pattern: each
+// process (rank) produces Particles particles per time step — each particle
+// a vector of 8 float32 values — and writes them sequentially to its own
+// file, for Steps time steps.
+type VPICJob struct {
+	Ranks     int
+	Particles int // per rank per step
+	Steps     int
+	Seed      int64
+}
+
+// BytesPerStepPerRank returns the per-rank step output size.
+func (j VPICJob) BytesPerStepPerRank() int64 { return int64(j.Particles) * 8 * 4 }
+
+// VPICResult summarizes a run.
+type VPICResult struct {
+	Job      VPICJob
+	Bytes    int64
+	ElapsedV vtime.Duration
+	MBps     float64
+}
+
+// RunVPIC executes the particle-dump workload against a filesystem.
+func RunVPIC(fs FS, job VPICJob) (*VPICResult, error) {
+	if job.Ranks < 1 {
+		job.Ranks = 1
+	}
+	res := &VPICResult{Job: job}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := make([]error, job.Ranks)
+	elapsed := make([]vtime.Duration, job.Ranks)
+
+	for r := 0; r < job.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			actor := fs.NewActor(r)
+			rng := rand.New(rand.NewSource(job.Seed + int64(r)))
+			path := fmt.Sprintf("vpic/rank%04d.dat", r)
+			if err := actor.Create(path); err != nil {
+				errs[r] = err
+				return
+			}
+			stepBytes := job.BytesPerStepPerRank()
+			buf := make([]byte, stepBytes)
+			start := actor.Now()
+			var off int64
+			for s := 0; s < job.Steps; s++ {
+				// Particle data: 8 float32 per particle (position, momentum,
+				// weight...), moderately compressible like real VPIC output.
+				for p := 0; p < job.Particles; p++ {
+					base := p * 32
+					for f := 0; f < 8; f++ {
+						v := float32(rng.NormFloat64())
+						binary.LittleEndian.PutUint32(buf[base+f*4:], math.Float32bits(v))
+					}
+				}
+				if err := actor.Write(path, off, buf); err != nil {
+					errs[r] = err
+					return
+				}
+				off += stepBytes
+			}
+			if err := actor.Fsync(path); err != nil {
+				errs[r] = err
+				return
+			}
+			elapsed[r] = actor.Now().Sub(start)
+			mu.Lock()
+			res.Bytes += off
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range elapsed {
+		if e > res.ElapsedV {
+			res.ElapsedV = e
+		}
+	}
+	res.MBps = stats.MBps(res.Bytes, res.ElapsedV.Seconds())
+	return res, nil
+}
+
+// BDCATSJob models BD-CATS: a parallel clustering job that reads back the
+// particle data VPIC produced.
+type BDCATSJob struct {
+	Ranks     int
+	Particles int
+	Steps     int
+	ReadBlock int // read request size (default 1 MiB)
+}
+
+// BDCATSResult summarizes a run.
+type BDCATSResult struct {
+	Job      BDCATSJob
+	Bytes    int64
+	ElapsedV vtime.Duration
+	MBps     float64
+}
+
+// RunBDCATS reads the VPIC output files in parallel.
+func RunBDCATS(fs FS, job BDCATSJob) (*BDCATSResult, error) {
+	if job.Ranks < 1 {
+		job.Ranks = 1
+	}
+	if job.ReadBlock <= 0 {
+		job.ReadBlock = 1 << 20
+	}
+	res := &BDCATSResult{Job: job}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := make([]error, job.Ranks)
+	elapsed := make([]vtime.Duration, job.Ranks)
+
+	total := int64(job.Particles) * 32 * int64(job.Steps)
+	for r := 0; r < job.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			actor := fs.NewActor(r)
+			path := fmt.Sprintf("vpic/rank%04d.dat", r)
+			buf := make([]byte, job.ReadBlock)
+			start := actor.Now()
+			var off, read int64
+			for off < total {
+				n, err := actor.Read(path, off, buf)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				if n == 0 {
+					break
+				}
+				off += int64(n)
+				read += int64(n)
+			}
+			elapsed[r] = actor.Now().Sub(start)
+			mu.Lock()
+			res.Bytes += read
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range elapsed {
+		if e > res.ElapsedV {
+			res.ElapsedV = e
+		}
+	}
+	res.MBps = stats.MBps(res.Bytes, res.ElapsedV.Seconds())
+	return res, nil
+}

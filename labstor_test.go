@@ -1,0 +1,219 @@
+package labstor_test
+
+import (
+	"bytes"
+	"testing"
+
+	"labstor"
+)
+
+const testStack = `
+mount: fs::/t
+mods:
+  - uuid: fs
+    type: labstor.labfs
+    attrs:
+      device: nvme0
+      log_mb: 4
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: nvme0
+`
+
+const testKVStack = `
+mount: kv::/t
+mods:
+  - uuid: kvs
+    type: labstor.labkvs
+    attrs:
+      device: nvme0
+      log_mb: 4
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: nvme0
+`
+
+func newPlatform(t *testing.T) *labstor.Platform {
+	t.Helper()
+	p := labstor.NewPlatform(labstor.Config{Workers: 2})
+	t.Cleanup(p.Close)
+	p.AddDevice("nvme0", labstor.NVMe, 128<<20)
+	if _, err := p.MountSpec(testStack); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MountSpec(testKVStack); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFacadeFileAPI(t *testing.T) {
+	p := newPlatform(t)
+	s := p.Connect()
+	defer s.Close()
+
+	f, err := s.Create("fs::/t/doc.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("facade file API")
+	if n, err := f.WriteAt(msg, 0); err != nil || n != len(msg) {
+		t.Fatalf("write %d %v", n, err)
+	}
+	if _, err := f.Append([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg)+1)
+	if n, err := f.ReadAt(buf, 0); err != nil || n != len(buf) {
+		t.Fatalf("read %d %v", n, err)
+	}
+	if !bytes.Equal(buf, append(msg, '!')) {
+		t.Fatalf("content %q", buf)
+	}
+	if sz, _ := f.Size(); sz != int64(len(msg)+1) {
+		t.Fatalf("size %d", sz)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Path() != "fs::/t/doc.txt" {
+		t.Fatal("path")
+	}
+
+	// Reopen through Open.
+	g, err := s.Open("fs::/t/doc.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := g.Size(); sz != int64(len(msg)+1) {
+		t.Fatal("reopened size")
+	}
+}
+
+func TestFacadePathOps(t *testing.T) {
+	p := newPlatform(t)
+	s := p.Connect()
+	if err := s.Mkdir("fs::/t/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("fs::/t/dir/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rename("fs::/t/dir/a", "fs::/t/dir/b"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.ReadDir("fs::/t/dir")
+	if err != nil || len(names) != 1 || names[0] != "b" {
+		t.Fatalf("readdir %v %v", names, err)
+	}
+	if err := s.Remove("fs::/t/dir/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat("fs::/t/dir/b"); err == nil {
+		t.Fatal("stat of removed file succeeded")
+	}
+	// Rename across mounts is rejected.
+	if err := s.Rename("fs::/t/x", "kv::/t/x"); err == nil {
+		t.Fatal("cross-stack rename succeeded")
+	}
+	// Unserved path.
+	if _, err := s.Open("nowhere::/x"); err == nil {
+		t.Fatal("unserved path opened")
+	}
+}
+
+func TestFacadeKVAPI(t *testing.T) {
+	p := newPlatform(t)
+	s := p.Connect()
+	kv := s.KV("kv::/t")
+	if err := kv.Put("alpha", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put("beta", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := kv.Get("alpha")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("get %q %v", v, err)
+	}
+	ok, _ := kv.Has("alpha")
+	if !ok {
+		t.Fatal("has")
+	}
+	keys, _ := kv.Keys("")
+	if len(keys) != 2 {
+		t.Fatalf("keys %v", keys)
+	}
+	if err := kv.Del("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := kv.Has("alpha"); ok {
+		t.Fatal("deleted key exists")
+	}
+}
+
+func TestFacadeMountManagement(t *testing.T) {
+	p := newPlatform(t)
+	if len(p.Mounts()) != 2 {
+		t.Fatalf("mounts %v", p.Mounts())
+	}
+	if err := p.Unmount("kv::/t"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Mounts()) != 1 {
+		t.Fatal("unmount")
+	}
+	if p.Runtime() == nil {
+		t.Fatal("runtime accessor")
+	}
+}
+
+func TestFacadeVirtualClock(t *testing.T) {
+	p := newPlatform(t)
+	s := p.Connect()
+	before := s.Clock()
+	f, _ := s.Create("fs::/t/clk")
+	f.WriteAt(make([]byte, 8192), 0)
+	if s.Clock() <= before {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestFacadePermissionsIntegration(t *testing.T) {
+	p := labstor.NewPlatform(labstor.Config{Workers: 1})
+	defer p.Close()
+	p.AddDevice("nvme0", labstor.NVMe, 64<<20)
+	if _, err := p.MountSpec(`
+mount: fs::/sec
+mods:
+  - uuid: perm
+    type: labstor.perm
+    attrs:
+      owner: "0"
+      mode: "0600"
+  - uuid: fs
+    type: labstor.labfs
+    attrs:
+      device: nvme0
+      log_mb: 4
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: nvme0
+`); err != nil {
+		t.Fatal(err)
+	}
+	root := p.ConnectAs(0, 0)
+	if _, err := root.Create("fs::/sec/x"); err != nil {
+		t.Fatal(err)
+	}
+	user := p.ConnectAs(1001, 1001)
+	if _, err := user.Open("fs::/sec/x"); err == nil {
+		t.Fatal("unprivileged open succeeded")
+	}
+}
