@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race check bench telemetry
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check runs the full gate: tier-1 (build + test), vet, and the race
+# detector across every package.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# telemetry runs the probe workload and dumps the runtime snapshot.
+telemetry:
+	$(GO) run ./cmd/labbench -telemetry -quick

@@ -25,6 +25,7 @@ import (
 	"labstor"
 	"labstor/internal/device"
 	"labstor/internal/experiments"
+	"labstor/internal/runtime"
 )
 
 // benchExperiment runs fn once per b.N loop (experiments are macro-level;
@@ -158,8 +159,12 @@ func BenchmarkAblations(b *testing.B) {
 // --- micro-benchmarks of the platform itself -----------------------------------
 
 func newBenchPlatform(b *testing.B) (*labstor.Platform, *labstor.Session) {
+	return newBenchPlatformSampled(b, 0) // default telemetry sampling (1 in 64)
+}
+
+func newBenchPlatformSampled(b *testing.B, sampleEvery int) (*labstor.Platform, *labstor.Session) {
 	b.Helper()
-	p := labstor.NewPlatform(labstor.Config{Workers: 2})
+	p := labstor.NewPlatform(labstor.Config{Workers: 2, PerfSampleEvery: sampleEvery})
 	b.Cleanup(p.Close)
 	p.AddDevice("nvme0", labstor.NVMe, 1<<30)
 	if _, err := p.MountSpec(`
@@ -201,6 +206,21 @@ func BenchmarkRequestRoundTripAsync(b *testing.B) {
 
 func BenchmarkLabFSWrite4K(b *testing.B) {
 	_, s := newBenchPlatform(b)
+	f, _ := s.Create("fs::/b/w4k.dat")
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.WriteAt(buf, int64(i%2048)*4096)
+	}
+}
+
+// BenchmarkLabFSWrite4KNoTelemetry is the telemetry-overhead control:
+// identical to BenchmarkLabFSWrite4K but with sampling disabled, so the
+// delta between the two is the full cost of per-stage tracing, the trace
+// ring, and the metric counters.
+func BenchmarkLabFSWrite4KNoTelemetry(b *testing.B) {
+	_, s := newBenchPlatformSampled(b, runtime.PerfSamplingDisabled)
 	f, _ := s.Create("fs::/b/w4k.dat")
 	buf := make([]byte, 4096)
 	b.SetBytes(4096)

@@ -2,7 +2,8 @@
 // simulated reproduction. Run `labbench -list` to see experiment names,
 // `labbench -exp anatomy` for one experiment, or `labbench -exp all`
 // (default) for everything. `-quick` shrinks workload sizes for fast smoke
-// runs; `-full` uses the paper-faithful scaled sizes.
+// runs; `-full` uses the paper-faithful scaled sizes. `-telemetry` runs the
+// probe workload and dumps the runtime's full telemetry snapshot instead.
 package main
 
 import (
@@ -99,7 +100,22 @@ func main() {
 	exp := flag.String("exp", "all", "experiment name or 'all'")
 	quick := flag.Bool("quick", false, "shrink workload sizes for a fast smoke run")
 	list := flag.Bool("list", false, "list experiments and exit")
+	telem := flag.Bool("telemetry", false, "run the probe workload and dump the telemetry snapshot")
 	flag.Parse()
+
+	if *telem {
+		ops := 500
+		if *quick {
+			ops = 100
+		}
+		snap, err := experiments.TelemetryProbe(nil, ops)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry probe failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(snap.String())
+		return
+	}
 
 	if *list {
 		for _, e := range catalog {

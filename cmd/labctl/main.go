@@ -5,6 +5,8 @@
 //	labctl validate <stack.yaml>  parse + instantiate + validate a LabStack
 //	labctl show <stack.yaml>      print the parsed DAG
 //	labctl config <runtime.yaml>  parse + echo a runtime configuration
+//	labctl stats <runtime.yaml>   boot the runtime, run a probe workload,
+//	                              dump the telemetry snapshot (-json for JSON)
 //
 // Validation instantiates the stack's modules against placeholder devices,
 // so attribute errors (missing devices, bad modes, unknown types) surface
@@ -19,6 +21,7 @@ import (
 
 	"labstor/internal/core"
 	"labstor/internal/device"
+	"labstor/internal/experiments"
 	_ "labstor/internal/mods/allmods"
 	"labstor/internal/spec"
 )
@@ -71,6 +74,8 @@ func main() {
 		for _, d := range cfg.Devices {
 			fmt.Printf("device: %s class=%s capacity=%dMiB\n", d.Name, d.Class, d.Capacity>>20)
 		}
+	case "stats":
+		stats(os.Args[2:])
 	default:
 		usage()
 	}
@@ -115,8 +120,46 @@ func validate(ss *spec.StackSpec) error {
 	return ss.Stack().Validate(reg)
 }
 
+// stats boots a Runtime from the given configuration, drives the telemetry
+// probe workload through it and prints the resulting snapshot.
+func stats(args []string) {
+	asJSON := false
+	var path string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		path = a
+	}
+	if path == "" {
+		usage()
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal("stats: cannot read runtime config %q: %v", path, err)
+	}
+	cfg, err := spec.ParseRuntimeConfig(string(raw))
+	if err != nil {
+		fatal("stats: parse %q: %v", path, err)
+	}
+	snap, err := experiments.TelemetryProbe(cfg, 0)
+	if err != nil {
+		fatal("stats: %v", err)
+	}
+	if asJSON {
+		out, err := snap.JSON()
+		if err != nil {
+			fatal("stats: %v", err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Print(snap.String())
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: labctl types | validate <stack.yaml> | show <stack.yaml> | config <runtime.yaml>")
+	fmt.Fprintln(os.Stderr, "usage: labctl types | validate <stack.yaml> | show <stack.yaml> | config <runtime.yaml> | stats [-json] <runtime.yaml>")
 	os.Exit(2)
 }
 

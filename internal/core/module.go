@@ -7,6 +7,7 @@ import (
 
 	"labstor/internal/device"
 	"labstor/internal/ipc"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -59,12 +60,14 @@ func (c Config) Attr(key, def string) string {
 }
 
 // Env is the environment the Runtime hands to module instances: simulated
-// devices, shared-memory segments, and the cost model for virtual-time
-// charges.
+// devices, shared-memory segments, the cost model for virtual-time
+// charges, and the runtime metrics registry LabMods publish op counters
+// into.
 type Env struct {
 	Devices  map[string]*device.Device
 	Segments *ipc.SegmentManager
 	Model    *vtime.CostModel
+	Metrics  *telemetry.Registry
 }
 
 // NewEnv returns an Env with the given cost model (Default if nil).
@@ -76,6 +79,7 @@ func NewEnv(model *vtime.CostModel) *Env {
 		Devices:  make(map[string]*device.Device),
 		Segments: ipc.NewSegmentManager(),
 		Model:    model,
+		Metrics:  telemetry.NewRegistry(),
 	}
 }
 

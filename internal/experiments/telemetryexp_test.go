@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"labstor/internal/spec"
+)
+
+// TestTelemetryProbe drives the `labctl stats` probe against the default
+// runtime configuration and asserts the snapshot has the per-worker,
+// per-queue and per-stage structure the tool reports.
+func TestTelemetryProbe(t *testing.T) {
+	cfg := spec.DefaultRuntimeConfig()
+	cfg.PerfSampleEvery = 8
+	snap, err := TelemetryProbe(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Workers) != cfg.Workers {
+		t.Fatalf("snapshot has %d workers, config %d", len(snap.Workers), cfg.Workers)
+	}
+	if len(snap.Queues) == 0 {
+		t.Fatal("no queues in probe snapshot")
+	}
+	if len(snap.Stages) == 0 {
+		t.Fatal("no stages sampled by probe")
+	}
+	stages := map[string]bool{}
+	for _, c := range snap.Stages {
+		stages[c.Stage] = true
+	}
+	for _, want := range []string{"ipc", "io"} {
+		if !stages[want] {
+			t.Fatalf("probe missed stage %q", want)
+		}
+	}
+	// Both the FS and KVS stacks contribute op counters to the registry.
+	fs, kvs := false, false
+	for name, v := range snap.Metrics.Counters {
+		if v > 0 && len(name) > 5 {
+			switch name[:5] {
+			case "labfs":
+				fs = true
+			case "labkv":
+				kvs = true
+			}
+		}
+	}
+	if !fs || !kvs {
+		t.Fatalf("probe op counters missing (fs=%v kvs=%v): %v", fs, kvs, snap.Metrics.Counters)
+	}
+	if len(snap.Traces) == 0 {
+		t.Fatal("probe retained no traces")
+	}
+}

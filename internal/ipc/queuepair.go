@@ -117,6 +117,30 @@ func (q *QueuePair[T]) PollCQ() (T, error) { return q.cq.Dequeue() }
 // Inflight returns the number of submitted-but-not-completed requests.
 func (q *QueuePair[T]) Inflight() int { return int(q.inflight.Load()) }
 
+// QueuePairStats is a queue pair's cumulative traffic accounting.
+type QueuePairStats struct {
+	ID       int       `json:"id"`
+	Kind     string    `json:"kind"`
+	Owner    int       `json:"owner_client"`
+	State    string    `json:"state"`
+	Inflight int       `json:"inflight"`
+	SQ       RingStats `json:"sq"`
+	CQ       RingStats `json:"cq"`
+}
+
+// Stats snapshots both rings and the pair's upgrade/inflight state.
+func (q *QueuePair[T]) Stats() QueuePairStats {
+	return QueuePairStats{
+		ID:       q.ID,
+		Kind:     q.Kind.String(),
+		Owner:    q.OwnerClient,
+		State:    q.State().String(),
+		Inflight: q.Inflight(),
+		SQ:       q.sq.Stats(),
+		CQ:       q.cq.Stats(),
+	}
+}
+
 // SQLen returns the number of requests waiting in the submission queue.
 func (q *QueuePair[T]) SQLen() int { return q.sq.Len() }
 

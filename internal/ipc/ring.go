@@ -41,6 +41,9 @@ type Ring[T any] struct {
 	_       [56]byte
 	dequeue atomic.Uint64
 	_       [56]byte
+	// rejects counts Enqueue calls that failed with ErrFull (telemetry:
+	// backpressure events; producers spin-retry on this).
+	rejects atomic.Int64
 }
 
 // NewRing returns a ring with capacity at least n (rounded up to a power of
@@ -62,6 +65,25 @@ func NewRing[T any](n int) *Ring[T] {
 
 // Cap returns the ring capacity.
 func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// RingStats is a ring's cumulative traffic accounting. Enqueued and
+// Dequeued are the ring cursors, so they cost nothing to maintain.
+type RingStats struct {
+	Enqueued int64 `json:"enqueued"`
+	Dequeued int64 `json:"dequeued"`
+	Rejects  int64 `json:"rejects"`
+	Depth    int   `json:"depth"`
+}
+
+// Stats returns the ring's cumulative counters and current depth.
+func (r *Ring[T]) Stats() RingStats {
+	return RingStats{
+		Enqueued: int64(r.enqueue.Load()),
+		Dequeued: int64(r.dequeue.Load()),
+		Rejects:  r.rejects.Load(),
+		Depth:    r.Len(),
+	}
+}
 
 // Len returns the approximate number of queued items.
 func (r *Ring[T]) Len() int {
@@ -92,6 +114,7 @@ func (r *Ring[T]) Enqueue(v T) error {
 			}
 			pos = r.enqueue.Load()
 		case seq < pos:
+			r.rejects.Add(1)
 			return ErrFull
 		default:
 			pos = r.enqueue.Load()

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"labstor/internal/core"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -59,6 +60,11 @@ type LabFS struct {
 	creates int64
 	writes  int64
 	reads   int64
+
+	// opCount maps each handled op to its runtime metrics counter
+	// ("labfs.<uuid>.<op>"). Built once in Configure, read-only after —
+	// a map read plus one atomic add per request.
+	opCount map[core.Op]*telemetry.Counter
 }
 
 // Info describes the module.
@@ -109,6 +115,21 @@ func (f *LabFS) Configure(cfg core.Config, env *core.Env) error {
 	f.alloc = newAllocator(pools, f.dataFirst, f.dataBlocks)
 	f.log = newMetaLog(f.blockSize, f.logBlocks)
 	f.needReplay = cfg.Attr("replay", "false") == "true"
+
+	if env.Metrics != nil {
+		name := cfg.UUID
+		if name == "" {
+			name = "labfs"
+		}
+		f.opCount = make(map[core.Op]*telemetry.Counter)
+		for _, op := range []core.Op{
+			core.OpCreate, core.OpOpen, core.OpMkdir, core.OpWrite, core.OpAppend,
+			core.OpRead, core.OpStat, core.OpUnlink, core.OpRmdir, core.OpRename,
+			core.OpTruncate, core.OpReaddir, core.OpFsync, core.OpClose,
+		} {
+			f.opCount[op] = env.Metrics.Counter("labfs." + name + "." + op.String())
+		}
+	}
 	return nil
 }
 
@@ -125,6 +146,9 @@ func (f *LabFS) FreeBlocks() int64 { return f.alloc.FreeBlocks() }
 func (f *LabFS) Process(e *core.Exec, req *core.Request) error {
 	if err := f.maybeReplay(e, req); err != nil {
 		return err
+	}
+	if c := f.opCount[req.Op]; c != nil {
+		c.Inc()
 	}
 	switch req.Op {
 	case core.OpCreate:

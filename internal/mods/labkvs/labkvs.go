@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"labstor/internal/core"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -68,6 +69,10 @@ type LabKVS struct {
 	puts atomic64
 	gets atomic64
 	dels atomic64
+
+	// opCount maps each handled op to its runtime metrics counter
+	// ("labkvs.<uuid>.<op>"); built in Configure, read-only after.
+	opCount map[core.Op]*telemetry.Counter
 }
 
 type atomic64 struct {
@@ -130,6 +135,20 @@ func (k *LabKVS) Configure(cfg core.Config, env *core.Env) error {
 		k.free = append(k.free, b)
 	}
 	k.needReplay = cfg.Attr("replay", "false") == "true"
+
+	if env.Metrics != nil {
+		name := cfg.UUID
+		if name == "" {
+			name = "labkvs"
+		}
+		k.opCount = make(map[core.Op]*telemetry.Counter)
+		for _, op := range []core.Op{
+			core.OpPut, core.OpGet, core.OpDel, core.OpHas,
+			core.OpReaddir, core.OpFsync,
+		} {
+			k.opCount[op] = env.Metrics.Counter("labkvs." + name + "." + op.String())
+		}
+	}
 	return nil
 }
 
@@ -162,6 +181,9 @@ func (k *LabKVS) freeBlocks(bs []int64) {
 func (k *LabKVS) Process(e *core.Exec, req *core.Request) error {
 	if err := k.maybeReplay(e, req); err != nil {
 		return err
+	}
+	if c := k.opCount[req.Op]; c != nil {
+		c.Inc()
 	}
 	switch req.Op {
 	case core.OpPut:

@@ -8,6 +8,7 @@ import (
 
 	"labstor/internal/core"
 	"labstor/internal/ipc"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -44,6 +45,11 @@ type Client struct {
 	// OriginCore tags submitted requests with the client's CPU core (used
 	// by the NoOp scheduler's core-keyed hctx mapping).
 	OriginCore int
+
+	// Cached telemetry handles (one atomic add per event on the hot path).
+	mSubmitted *telemetry.Counter // async submissions enqueued
+	mSyncRuns  *telemetry.Counter // sync-mode (client-side) executions
+	mRingFull  *telemetry.Counter // submit retries after a full SQ ring
 }
 
 // Connect registers a new client with the Runtime and allocates its primary
@@ -66,6 +72,9 @@ func (rt *Runtime) Connect(cred ipc.Credentials) *Client {
 		OriginCore:      id,
 	}
 	c.syncExec = core.NewExec(rt.Registry, rt.Namespace, rt.opts.Model, -1)
+	c.mSubmitted = rt.metrics.Counter("client.submitted")
+	c.mSyncRuns = rt.metrics.Counter("client.sync_executed")
+	c.mRingFull = rt.metrics.Counter("client.sq_full_retries")
 	rt.clients[id] = c
 	rt.mu.Unlock()
 
@@ -151,6 +160,7 @@ func (c *Client) SubmitStack(s *core.Stack, req *core.Request) error {
 	if s.Rules.ExecMode == core.ExecSync {
 		// Decentralized: walk the DAG in the client thread against the
 		// client's registry view. No queue, no IPC charge.
+		c.mSyncRuns.Inc()
 		exec := c.syncExec
 		exec.Registry = c.localRegistry
 		err := exec.Submit(s, req)
@@ -173,8 +183,10 @@ func (c *Client) SubmitStack(s *core.Stack, req *core.Request) error {
 			break
 		}
 		// Ring full: yield until a worker drains it.
+		c.mRingFull.Inc()
 		gort.Gosched()
 	}
+	c.mSubmitted.Inc()
 	c.rt.pokeWorkers()
 	if err := c.Wait(req); err != nil {
 		return err
@@ -202,9 +214,11 @@ func (c *Client) SubmitStackAsync(s *core.Stack, req *core.Request) error {
 			return err
 		}
 		if err := c.qp.Submit(req); err == nil {
+			c.mSubmitted.Inc()
 			c.rt.pokeWorkers()
 			return nil
 		}
+		c.mRingFull.Inc()
 		gort.Gosched()
 	}
 }

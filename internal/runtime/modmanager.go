@@ -60,6 +60,39 @@ type ModManager struct {
 	upgradesDone   int
 	lastUpgradeVT  vtime.Duration // modeled duration of the last batch
 	totalUpgradeVT vtime.Duration
+
+	// Wall-clock phase timings of the last upgrade batch (the protocol's
+	// pause → drain → apply sequence, paper §III-C2).
+	lastPauseWall time.Duration
+	lastDrainWall time.Duration
+	lastApplyWall time.Duration
+}
+
+// UpgradeStats summarises the Module Manager's upgrade activity, including
+// the wall-clock phase timings of the most recent batch.
+type UpgradeStats struct {
+	Done          int            `json:"done"`
+	Pending       int            `json:"pending"`
+	LastVT        vtime.Duration `json:"last_vt_ns"`
+	TotalVT       vtime.Duration `json:"total_vt_ns"`
+	LastPauseWall time.Duration  `json:"last_pause_wall_ns"`
+	LastDrainWall time.Duration  `json:"last_drain_wall_ns"`
+	LastApplyWall time.Duration  `json:"last_apply_wall_ns"`
+}
+
+// Stats returns the upgrade counters and last-batch phase timings.
+func (mm *ModManager) Stats() UpgradeStats {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return UpgradeStats{
+		Done:          mm.upgradesDone,
+		Pending:       len(mm.pending),
+		LastVT:        mm.lastUpgradeVT,
+		TotalVT:       mm.totalUpgradeVT,
+		LastPauseWall: mm.lastPauseWall,
+		LastDrainWall: mm.lastDrainWall,
+		LastApplyWall: mm.lastApplyWall,
+	}
 }
 
 func newModManager(rt *Runtime) *ModManager {
@@ -127,6 +160,7 @@ func (mm *ModManager) ProcessUpgrades() {
 	queues := mm.rt.orch.Queues()
 
 	// Phase 1: pause primary queues.
+	phaseStart := time.Now()
 	for _, q := range queues {
 		if q.Kind == ipc.Primary {
 			q.MarkUpdatePending()
@@ -151,7 +185,9 @@ func (mm *ModManager) ProcessUpgrades() {
 		}
 		time.Sleep(20 * time.Microsecond)
 	}
+	pauseWall := time.Since(phaseStart)
 	// Phase 3: drain intermediate queues.
+	phaseStart = time.Now()
 	for time.Now().Before(deadline) {
 		busy := false
 		for _, q := range queues {
@@ -165,8 +201,10 @@ func (mm *ModManager) ProcessUpgrades() {
 		}
 		time.Sleep(20 * time.Microsecond)
 	}
+	drainWall := time.Since(phaseStart)
 
 	// Phase 4: apply each upgrade.
+	phaseStart = time.Now()
 	var batchVT vtime.Duration
 	applied := 0
 	for _, up := range batch {
@@ -177,6 +215,7 @@ func (mm *ModManager) ProcessUpgrades() {
 		}
 		up.done <- err
 	}
+	applyWall := time.Since(phaseStart)
 
 	// The pause + code load + state transfer occupy the Runtime: model the
 	// service interruption by pushing every worker's virtual clock past the
@@ -198,7 +237,16 @@ func (mm *ModManager) ProcessUpgrades() {
 	mm.upgradesDone += applied
 	mm.lastUpgradeVT = batchVT
 	mm.totalUpgradeVT += batchVT
+	mm.lastPauseWall = pauseWall
+	mm.lastDrainWall = drainWall
+	mm.lastApplyWall = applyWall
 	mm.mu.Unlock()
+
+	reg := mm.rt.metrics
+	reg.Add("upgrade.applied", int64(applied))
+	reg.Observe("upgrade.pause_wall_us", float64(pauseWall.Microseconds()))
+	reg.Observe("upgrade.drain_wall_us", float64(drainWall.Microseconds()))
+	reg.Observe("upgrade.apply_wall_us", float64(applyWall.Microseconds()))
 }
 
 // applyOne swaps a single module and returns the modeled upgrade duration:

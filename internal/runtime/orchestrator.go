@@ -33,6 +33,20 @@ type Orchestrator struct {
 	// prevFrontier is the global worker virtual frontier at the last
 	// rebalance (the epoch's virtual length denominator).
 	prevFrontier vtime.Time
+	// last is the most recent dynamic-rebalance decision (telemetry).
+	last RebalanceDecision
+}
+
+// RebalanceDecision records what the dynamic policy decided at its last
+// rebalance: the LQ/CQ classification, the worker subset sizes, and the
+// estimated (observed-rate) load of each class.
+type RebalanceDecision struct {
+	LQs       int     `json:"lqs"`
+	CQs       int     `json:"cqs"`
+	LQWorkers int     `json:"lq_workers"`
+	CQWorkers int     `json:"cq_workers"`
+	LQLoad    float64 `json:"lq_load"`
+	CQLoad    float64 `json:"cq_load"`
 }
 
 // queueStats is the orchestrator's view of one queue's demand.
@@ -121,8 +135,46 @@ func (o *Orchestrator) Rebalances() int {
 	return o.rebalances
 }
 
+// LastDecision returns the most recent dynamic-rebalance decision (zero
+// value under round_robin or before the first rebalance).
+func (o *Orchestrator) LastDecision() RebalanceDecision {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.last
+}
+
+// QueueDemand is the orchestrator's telemetry view of one queue: observed
+// demand (utilization rate), the EWMA per-request cost estimate feeding the
+// LQ/CQ classifier, and cumulative traffic.
+type QueueDemand struct {
+	ID       int     `json:"id"`
+	Requests int64   `json:"requests"`
+	CPUNS    float64 `json:"cpu_ns"`
+	EstNS    float64 `json:"est_ns"`
+	Rate     float64 `json:"rate"`
+}
+
+// QueueDemands returns the per-queue demand estimates, in queue order.
+func (o *Orchestrator) QueueDemands() []QueueDemand {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]QueueDemand, 0, len(o.queues))
+	for _, q := range o.queues {
+		d := QueueDemand{ID: q.ID}
+		if qs, ok := o.perQueue[q.ID]; ok {
+			d.Requests = qs.count
+			d.CPUNS = qs.cpuNS
+			d.EstNS = qs.estNS
+			d.Rate = qs.rate
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // Rebalance recomputes the queue→worker assignment under the active policy.
 func (o *Orchestrator) Rebalance() {
+	o.rt.metrics.Counter("orchestrator.rebalances").Inc()
 	o.mu.Lock()
 	o.rebalances++
 	queues := make([]*QP, len(o.queues))
@@ -136,6 +188,7 @@ func (o *Orchestrator) Rebalance() {
 	default:
 		o.rebalanceRR(queues)
 	}
+	o.rt.metrics.Gauge("orchestrator.active_workers").Set(int64(o.rt.ActiveWorkers()))
 }
 
 // rebalanceRR spreads queues evenly across every worker in the pool.
@@ -280,14 +333,21 @@ func (o *Orchestrator) rebalanceDynamic(queues []*QP) {
 		cqs = nil
 	}
 
+	var lTot, cTot float64
+	for _, q := range lqs {
+		lTot += loads[q.ID]
+	}
+	for _, q := range cqs {
+		cTot += loads[q.ID]
+	}
+	o.mu.Lock()
+	o.last = RebalanceDecision{
+		LQs: len(lqs), CQs: len(cqs),
+		LQWorkers: nLQ, CQWorkers: nCQ,
+		LQLoad: lTot, CQLoad: cTot,
+	}
+	o.mu.Unlock()
 	if DebugRebalance != nil {
-		var lTot, cTot float64
-		for _, q := range lqs {
-			lTot += loads[q.ID]
-		}
-		for _, q := range cqs {
-			cTot += loads[q.ID]
-		}
 		DebugRebalance(len(lqs), len(cqs), nLQ, nCQ, lTot, cTot)
 	}
 

@@ -34,6 +34,8 @@ import (
 	"labstor/internal/device"
 	"labstor/internal/ipc"
 	"labstor/internal/spec"
+	"labstor/internal/stats"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -73,9 +75,19 @@ type Options struct {
 	// MaxReposPerUser bounds mount.repo per UID (0 = unlimited).
 	MaxReposPerUser int
 	// PerfSampleEvery traces one request in N for per-stage performance
-	// counters (0 disables sampling; default 64).
+	// counters, request histograms and the trace ring. 0 means the default
+	// (64); a negative value disables sampling entirely.
 	PerfSampleEvery int
+	// TraceRing is the capacity of the in-memory ring of recent request
+	// traces (0 = telemetry.DefaultTraceRing).
+	TraceRing int
+	// TraceSink, when non-nil, receives every captured trace synchronously
+	// (exporters, test assertions). Sampled requests only.
+	TraceSink telemetry.Sink
 }
+
+// PerfSamplingDisabled is the PerfSampleEvery value that turns sampling off.
+const PerfSamplingDisabled = -1
 
 func (o *Options) fill() {
 	if o.MaxWorkers <= 0 {
@@ -118,6 +130,8 @@ func FromConfig(cfg *spec.RuntimeConfig) Options {
 		LatencyCutoff:   vtime.Duration(cfg.Orchestrator.LatencyCutoffUs) * vtime.Microsecond,
 		LossThreshold:   cfg.Orchestrator.LossThreshold,
 		MaxReposPerUser: cfg.MaxReposPerUser,
+		PerfSampleEvery: cfg.PerfSampleEvery,
+		TraceRing:       cfg.TraceRing,
 	}
 }
 
@@ -144,6 +158,18 @@ type Runtime struct {
 	perfSum map[string]vtime.Duration
 	perfOps map[string]int64
 
+	// metrics is the runtime-wide metrics registry (shared with Env so
+	// LabMods publish op counters into the same tree); tracer keeps the
+	// bounded ring of sampled request traces.
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+
+	// Cached metric handles for the sampled-request path.
+	mSampled   *telemetry.Counter
+	hLatencyUS *stats.Histogram
+	hWaitUS    *stats.Histogram
+	hCPUUS     *stats.Histogram
+
 	mu      sync.Mutex
 	workers []*Worker
 	clients map[int]*Client
@@ -166,6 +192,13 @@ func New(opts Options) *Runtime {
 		clients:   make(map[int]*Client),
 		adminStop: make(chan struct{}),
 	}
+	rt.metrics = rt.Env.Metrics
+	rt.tracer = telemetry.NewTracer(opts.TraceRing)
+	rt.tracer.SetSink(opts.TraceSink)
+	rt.mSampled = rt.metrics.Counter("runtime.sampled_requests")
+	rt.hLatencyUS = rt.metrics.Histogram("request.latency_us")
+	rt.hWaitUS = rt.metrics.Histogram("request.queue_wait_us")
+	rt.hCPUUS = rt.metrics.Histogram("request.cpu_us")
 	rt.modMgr = newModManager(rt)
 	rt.orch = newOrchestrator(rt)
 	rt.repoMgr = core.NewRepoManager(opts.MaxReposPerUser, 0)
@@ -288,6 +321,47 @@ func (rt *Runtime) recordPerf(stages []core.StageTime) {
 	}
 	rt.perfMu.Unlock()
 }
+
+// recordTrace turns a sampled request into a telemetry.Trace — spans from
+// the request's stage anatomy, queue wait from the worker's service start —
+// pushes it onto the trace ring and feeds the request-level histograms.
+func (rt *Runtime) recordTrace(workerID, queueID int, stackMount string, req *core.Request, start vtime.Time) {
+	spans := make([]telemetry.Span, len(req.Stages))
+	for i, st := range req.Stages {
+		spans[i] = telemetry.Span{Stage: st.Stage, Cost: st.Cost}
+	}
+	tr := telemetry.Trace{
+		ReqID:     req.ID,
+		Op:        req.Op.String(),
+		Stack:     stackMount,
+		StackID:   req.StackID,
+		Queue:     queueID,
+		Worker:    workerID,
+		Arrival:   req.Arrival,
+		Start:     start,
+		End:       req.Clock,
+		QueueWait: start.Sub(req.Arrival),
+		CPU:       req.CPUTime,
+		Spans:     spans,
+	}
+	if req.Err != nil {
+		tr.Err = req.Err.Error()
+	}
+	rt.mSampled.Inc()
+	rt.hLatencyUS.Observe(tr.Latency().Micros())
+	rt.hWaitUS.Observe(tr.QueueWait.Micros())
+	rt.hCPUUS.Observe(tr.CPU.Micros())
+	rt.tracer.Capture(tr)
+}
+
+// Metrics exposes the runtime-wide metrics registry.
+func (rt *Runtime) Metrics() *telemetry.Registry { return rt.metrics }
+
+// Tracer exposes the request tracer.
+func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tracer }
+
+// Traces returns the retained sampled-request traces, oldest first.
+func (rt *Runtime) Traces() []telemetry.Trace { return rt.tracer.Recent() }
 
 // PerfCounter is one pipeline stage's sampled cost statistics.
 type PerfCounter struct {
@@ -417,23 +491,55 @@ func (rt *Runtime) rebalanceLoop() {
 
 // WorkerStats summarises one worker's accounting.
 type WorkerStats struct {
-	ID        int
-	Active    bool
-	Processed int64
-	BusyVirt  vtime.Duration
-	Clock     vtime.Time
+	ID        int            `json:"id"`
+	Active    bool           `json:"active"`
+	Processed int64          `json:"processed"`
+	BusyVirt  vtime.Duration `json:"busy_virt_ns"`
+	Clock     vtime.Time     `json:"clock_ns"`
+	// Polls counts pollOnce scans; EmptyPolls the scans that found no work;
+	// Parks how often the worker gave up busy-polling and blocked.
+	Polls      int64 `json:"polls"`
+	EmptyPolls int64 `json:"empty_polls"`
+	Parks      int64 `json:"parks"`
+	// Queues is the list of queue-pair IDs currently assigned.
+	Queues []int `json:"queues"`
+}
+
+// IdleRatio is the fraction of poll scans that found no work.
+func (ws WorkerStats) IdleRatio() float64 {
+	if ws.Polls == 0 {
+		return 0
+	}
+	return float64(ws.EmptyPolls) / float64(ws.Polls)
+}
+
+// BusyRatio is modeled CPU time over the worker's virtual clock span.
+func (ws WorkerStats) BusyRatio() float64 {
+	if ws.Clock <= 0 {
+		return 0
+	}
+	return float64(ws.BusyVirt) / float64(ws.Clock)
 }
 
 // Stats returns per-worker statistics.
 func (rt *Runtime) Stats() []WorkerStats {
 	out := make([]WorkerStats, 0, len(rt.workers))
 	for _, w := range rt.workers {
+		qs := w.assigned()
+		ids := make([]int, len(qs))
+		for i, q := range qs {
+			ids[i] = q.ID
+		}
 		out = append(out, WorkerStats{
-			ID:        w.id,
-			Active:    w.isActive(),
-			Processed: w.processed.Load(),
-			BusyVirt:  vtime.Duration(w.busy.Load()),
-			Clock:     w.clock.Now(),
+			ID:         w.id,
+			Active:     w.isActive(),
+			Processed:  w.processed.Load(),
+			BusyVirt:   vtime.Duration(w.busy.Load()),
+			Clock:      w.clock.Now(),
+			Polls:      w.polls.Load(),
+			EmptyPolls: w.emptyPolls.Load(),
+			Parks:      w.parks.Load(),
+			Queues:     ids,
 		})
 	}
 	return out

@@ -25,6 +25,11 @@ type Worker struct {
 	busy      atomic.Int64 // cumulative modeled CPU ns
 	processed atomic.Int64
 
+	// Telemetry: poll-loop accounting (atomic adds on worker-owned state).
+	polls      atomic.Int64 // pollOnce scans
+	emptyPolls atomic.Int64 // scans that found no work
+	parks      atomic.Int64 // transitions from busy-polling to parked
+
 	active atomic.Bool
 	// inProcess is true while the worker is mid-request (crash recovery
 	// drains on it before repairing module state).
@@ -123,6 +128,7 @@ func (w *Worker) run(wg *sync.WaitGroup) {
 			gort.Gosched()
 			continue
 		}
+		w.parks.Add(1)
 		select {
 		case <-w.quit:
 			return
@@ -136,6 +142,7 @@ func (w *Worker) run(wg *sync.WaitGroup) {
 // pollOnce scans assigned queues once, processing at most one request per
 // queue. It returns whether any request was processed.
 func (w *Worker) pollOnce() bool {
+	w.polls.Add(1)
 	any := false
 	for _, qp := range w.assigned() {
 		// Live-upgrade handshake: acknowledge pending updates and stop
@@ -153,6 +160,9 @@ func (w *Worker) pollOnce() bool {
 		}
 		any = true
 		w.processRequest(qp, req)
+	}
+	if !any {
+		w.emptyPolls.Add(1)
 	}
 	return any
 }
@@ -198,6 +208,11 @@ func (w *Worker) processRequest(qp *QP, req *Request) {
 	w.rt.orch.ObserveRequest(qp.ID, cpuUsed, req.Clock)
 	if sampled {
 		w.rt.recordPerf(req.Stages)
+		mount := ""
+		if ok {
+			mount = stack.Mount
+		}
+		w.rt.recordTrace(w.id, qp.ID, mount, req, begin)
 		req.Trace = false
 	}
 

@@ -146,18 +146,20 @@ type RuntimeConfig struct {
 	QueueDepth      int
 	UpgradePollMs   int
 	MaxReposPerUser int
-	Orchestrator    OrchestratorSpec
-	Devices         []DeviceSpec
-	Repos           []string
+	// PerfSampleEvery is the telemetry sampling period: one request in N is
+	// traced (0 = runtime default of 64, negative disables sampling).
+	PerfSampleEvery int
+	// TraceRing is the capacity of the recent-trace ring (0 = default).
+	TraceRing    int
+	Orchestrator OrchestratorSpec
+	Devices      []DeviceSpec
+	Repos        []string
 }
 
-// ParseRuntimeConfig parses a runtime configuration document.
-func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
-	root, err := Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	cfg := &RuntimeConfig{
+// DefaultRuntimeConfig returns the configuration used when a document omits
+// a field (and the base for ParseRuntimeConfig).
+func DefaultRuntimeConfig() *RuntimeConfig {
+	return &RuntimeConfig{
 		Workers:         4,
 		QueueDepth:      1024,
 		UpgradePollMs:   5,
@@ -170,11 +172,22 @@ func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
 			LossThreshold:   0.1,
 		},
 	}
+}
+
+// ParseRuntimeConfig parses a runtime configuration document.
+func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
+	root, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultRuntimeConfig()
 	if rt := root.Get("runtime"); rt != nil {
 		cfg.Workers = rt.Int("workers", cfg.Workers)
 		cfg.QueueDepth = rt.Int("queue_depth", cfg.QueueDepth)
 		cfg.UpgradePollMs = rt.Int("upgrade_poll_ms", cfg.UpgradePollMs)
 		cfg.MaxReposPerUser = rt.Int("max_repos_per_user", cfg.MaxReposPerUser)
+		cfg.PerfSampleEvery = rt.Int("perf_sample_every", cfg.PerfSampleEvery)
+		cfg.TraceRing = rt.Int("trace_ring", cfg.TraceRing)
 	}
 	if or := root.Get("orchestrator"); or != nil {
 		cfg.Orchestrator.Policy = or.Str("policy", cfg.Orchestrator.Policy)

@@ -146,12 +146,15 @@ func (p *Sample) Max() float64 { return p.Percentile(100) }
 // Min returns the smallest observation.
 func (p *Sample) Min() float64 { return p.Percentile(0) }
 
-// Histogram is a log2-bucketed histogram for latency-like values.
+// Histogram is a log2-bucketed histogram for latency-like values. The
+// exact maximum observation is tracked alongside the buckets, so Quantile
+// never reports beyond the largest value actually seen.
 type Histogram struct {
 	mu      sync.Mutex
 	buckets [64]int64
 	count   int64
 	sum     float64
+	max     float64
 }
 
 // Observe adds a non-negative observation.
@@ -170,6 +173,9 @@ func (h *Histogram) Observe(x float64) {
 	h.buckets[b]++
 	h.count++
 	h.sum += x
+	if x > h.max {
+		h.max = x
+	}
 	h.mu.Unlock()
 }
 
@@ -186,13 +192,23 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Max returns the largest observation (0 if empty).
+func (h *Histogram) Max() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.max }
+
 // Quantile returns an estimate of the q-th quantile (q in [0,1]) assuming
-// uniform distribution within each bucket.
+// uniform distribution within each bucket, clamped to the exact maximum
+// observation (so q=1 reports the true max, not the bucket's upper bound).
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
+	}
+	clamp := func(v float64) float64 {
+		if v > h.max {
+			return h.max
+		}
+		return v
 	}
 	target := q * float64(h.count)
 	var cum float64
@@ -204,12 +220,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if next >= target {
 			lo, hi := bucketBounds(b)
 			frac := (target - cum) / float64(c)
-			return lo + frac*(hi-lo)
+			return clamp(lo + frac*(hi-lo))
 		}
 		cum = next
 	}
-	_, hi := bucketBounds(len(h.buckets) - 1)
-	return hi
+	return h.max
 }
 
 func bucketBounds(b int) (lo, hi float64) {

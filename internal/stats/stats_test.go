@@ -138,6 +138,43 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramMaxExact(t *testing.T) {
+	var h Histogram
+	for _, x := range []float64{3, 100, 42} {
+		h.Observe(x)
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max %v, want exact 100", h.Max())
+	}
+}
+
+func TestHistogramQuantileClampedToMax(t *testing.T) {
+	// 100 lands in bucket [64,128); without clamping, Quantile(1) would
+	// report the interpolated upper bound 128 — beyond any observation.
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("q=1 reports %v, want exact max 100", q)
+	}
+	if q := h.Quantile(0.999); q > 100 {
+		t.Fatalf("q=0.999 reports %v, beyond the max observation", q)
+	}
+	// A single observation: every quantile is that observation.
+	var one Histogram
+	one.Observe(9)
+	if q := one.Quantile(0.5); q > 9 {
+		t.Fatalf("single-observation median %v > 9", q)
+	}
+	if q := one.Quantile(1); q != 9 {
+		t.Fatalf("single-observation max %v, want 9", q)
+	}
+	if (&Histogram{}).Quantile(1) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	var h Histogram
 	h.Observe(-5)

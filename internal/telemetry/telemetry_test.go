@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"labstor/internal/vtime"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a")
+	c2 := r.Counter("a")
+	if c1 != c2 {
+		t.Fatal("Counter(\"a\") returned two distinct instances")
+	}
+	c1.Inc()
+	c2.Add(2)
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Fatalf("counter value = %d, want 3", got)
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	if got := r.Gauge("g").Value(); got != 7 {
+		t.Fatalf("gauge value = %d, want 7", got)
+	}
+	r.Observe("h", 10)
+	r.Observe("h", 20)
+	if got := r.Histogram("h").Count(); got != 2 {
+		t.Fatalf("histogram count = %d, want 2", got)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Add("reqs", 5)
+	r.Gauge("depth").Set(3)
+	r.Observe("lat_us", 100)
+	r.Observe("lat_us", 300)
+
+	s := r.Snapshot()
+	if s.Counters["reqs"] != 5 {
+		t.Fatalf("snapshot counter = %d, want 5", s.Counters["reqs"])
+	}
+	if s.Gauges["depth"] != 3 {
+		t.Fatalf("snapshot gauge = %d, want 3", s.Gauges["depth"])
+	}
+	h, ok := s.Histograms["lat_us"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if h.Count != 2 || h.Max != 300 {
+		t.Fatalf("histogram snapshot = %+v, want count=2 max=300", h)
+	}
+	if h.Mean != 200 {
+		t.Fatalf("histogram mean = %v, want 200", h.Mean)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Counter(fmt.Sprintf("per-%d", g%4)).Inc()
+				r.Observe("h", float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}
+
+func mkTrace(id uint64) Trace {
+	return Trace{
+		ReqID: id, Op: "write", Stack: "fs::/t", Worker: 0,
+		Arrival: vtime.Time(0), Start: vtime.Time(10), End: vtime.Time(30),
+		Spans: []Span{{Stage: "ipc", Cost: 5}, {Stage: "io", Cost: 15}},
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(4)
+	if tr.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", tr.Cap())
+	}
+	for i := uint64(1); i <= 10; i++ {
+		tr.Capture(mkTrace(i))
+	}
+	if tr.Captured() != 10 {
+		t.Fatalf("Captured = %d, want 10", tr.Captured())
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring retained %d traces, want 4", len(recent))
+	}
+	// Oldest-first: the oldest survivors are 7..10.
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if recent[i].ReqID != want {
+			t.Fatalf("recent[%d].ReqID = %d, want %d (ring not oldest-first)", i, recent[i].ReqID, want)
+		}
+	}
+}
+
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Capture(mkTrace(1))
+	tr.Capture(mkTrace(2))
+	recent := tr.Recent()
+	if len(recent) != 2 || recent[0].ReqID != 1 || recent[1].ReqID != 2 {
+		t.Fatalf("partial ring = %v", recent)
+	}
+}
+
+func TestTracerSink(t *testing.T) {
+	tr := NewTracer(2)
+	var got []uint64
+	tr.SetSink(SinkFunc(func(tc Trace) { got = append(got, tc.ReqID) }))
+	tr.Capture(mkTrace(1))
+	tr.Capture(mkTrace(2))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("sink saw %v, want [1 2]", got)
+	}
+	tr.SetSink(nil)
+	tr.Capture(mkTrace(3))
+	if len(got) != 2 {
+		t.Fatal("sink called after being cleared")
+	}
+}
+
+func TestTraceDerived(t *testing.T) {
+	tc := mkTrace(1)
+	if tc.Latency() != 30 {
+		t.Fatalf("Latency = %v, want 30", tc.Latency())
+	}
+	s := tc.String()
+	for _, want := range []string{"write", "fs::/t", "ipc", "io"} {
+		if !contains(s, want) {
+			t.Fatalf("Trace.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"labstor/internal/vtime"
+)
+
+// Span is one pipeline stage a traced request crossed, with the virtual
+// time it charged (the request "anatomy" of the paper's Fig. 4a).
+type Span struct {
+	Stage string         `json:"stage"`
+	Cost  vtime.Duration `json:"cost_ns"`
+}
+
+// Trace is one sampled request's end-to-end record: identity, routing
+// (stack, queue, worker), virtual-time milestones and the per-stage spans.
+type Trace struct {
+	ReqID   uint64 `json:"req_id"`
+	Op      string `json:"op"`
+	Stack   string `json:"stack"`
+	StackID int    `json:"stack_id"`
+	Queue   int    `json:"queue"`
+	Worker  int    `json:"worker"`
+
+	Arrival vtime.Time `json:"arrival_ns"` // client submission (virtual)
+	Start   vtime.Time `json:"start_ns"`   // worker began service (virtual)
+	End     vtime.Time `json:"end_ns"`     // request clock at completion
+
+	// QueueWait is Start-Arrival: queue-op + IPC charges plus time the
+	// request sat behind other work on the worker's virtual clock.
+	QueueWait vtime.Duration `json:"queue_wait_ns"`
+	CPU       vtime.Duration `json:"cpu_ns"`
+
+	Err   string `json:"err,omitempty"`
+	Spans []Span `json:"spans"`
+}
+
+// Latency returns the trace's modeled end-to-end latency.
+func (t Trace) Latency() vtime.Duration { return t.End.Sub(t.Arrival) }
+
+// String renders a one-line summary plus the span chain.
+func (t Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "req#%d %s stack=%s queue=%d worker=%d lat=%s wait=%s cpu=%s",
+		t.ReqID, t.Op, t.Stack, t.Queue, t.Worker, t.Latency(), t.QueueWait, t.CPU)
+	if t.Err != "" {
+		fmt.Fprintf(&b, " err=%q", t.Err)
+	}
+	for _, s := range t.Spans {
+		fmt.Fprintf(&b, " | %s=%s", s.Stage, s.Cost)
+	}
+	return b.String()
+}
+
+// Sink receives every captured trace synchronously. Implementations must be
+// safe for concurrent use; captures happen on worker goroutines for sampled
+// requests only.
+type Sink interface {
+	Emit(Trace)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Trace)
+
+// Emit calls f.
+func (f SinkFunc) Emit(t Trace) { f(t) }
+
+// DefaultTraceRing is the trace ring capacity when none is configured.
+const DefaultTraceRing = 256
+
+// Tracer keeps a bounded ring of the most recent traces and forwards each
+// capture to an optional sink.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Trace
+	next int
+	full bool
+
+	captured atomic.Int64
+
+	sinkMu sync.RWMutex
+	sink   Sink
+}
+
+// NewTracer returns a tracer holding up to capacity traces (DefaultTraceRing
+// if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceRing
+	}
+	return &Tracer{ring: make([]Trace, capacity)}
+}
+
+// SetSink installs (or, with nil, removes) the trace sink.
+func (tr *Tracer) SetSink(s Sink) {
+	tr.sinkMu.Lock()
+	tr.sink = s
+	tr.sinkMu.Unlock()
+}
+
+// Capture appends a trace to the ring, evicting the oldest when full, and
+// forwards it to the sink.
+func (tr *Tracer) Capture(t Trace) {
+	tr.mu.Lock()
+	tr.ring[tr.next] = t
+	tr.next++
+	if tr.next == len(tr.ring) {
+		tr.next = 0
+		tr.full = true
+	}
+	tr.mu.Unlock()
+	tr.captured.Add(1)
+
+	tr.sinkMu.RLock()
+	s := tr.sink
+	tr.sinkMu.RUnlock()
+	if s != nil {
+		s.Emit(t)
+	}
+}
+
+// Captured returns the total number of traces captured (including evicted).
+func (tr *Tracer) Captured() int64 { return tr.captured.Load() }
+
+// Recent returns the retained traces, oldest first.
+func (tr *Tracer) Recent() []Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.full {
+		out := make([]Trace, tr.next)
+		copy(out, tr.ring[:tr.next])
+		return out
+	}
+	out := make([]Trace, 0, len(tr.ring))
+	out = append(out, tr.ring[tr.next:]...)
+	out = append(out, tr.ring[:tr.next]...)
+	return out
+}
+
+// Cap returns the ring capacity.
+func (tr *Tracer) Cap() int { return len(tr.ring) }

@@ -55,6 +55,10 @@ type Config struct {
 	QueueDepth int
 	// RebalanceEvery enables the periodic orchestrator rebalance loop.
 	RebalanceEvery time.Duration
+	// PerfSampleEvery is the telemetry sampling period: one request in N
+	// gets a full per-stage trace (0 = runtime default of 64; a negative
+	// value, e.g. runtime.PerfSamplingDisabled, disables sampling).
+	PerfSampleEvery int
 }
 
 // Platform is a running LabStor instance: runtime + namespace + devices.
@@ -65,10 +69,11 @@ type Platform struct {
 // NewPlatform creates and starts a platform.
 func NewPlatform(cfg Config) *Platform {
 	rt := runtime.New(runtime.Options{
-		MaxWorkers:     cfg.Workers,
-		Policy:         cfg.Policy,
-		QueueDepth:     cfg.QueueDepth,
-		RebalanceEvery: cfg.RebalanceEvery,
+		MaxWorkers:      cfg.Workers,
+		Policy:          cfg.Policy,
+		QueueDepth:      cfg.QueueDepth,
+		RebalanceEvery:  cfg.RebalanceEvery,
+		PerfSampleEvery: cfg.PerfSampleEvery,
 	})
 	rt.Start()
 	return &Platform{rt: rt}
@@ -80,6 +85,11 @@ func (p *Platform) Close() { p.rt.Shutdown() }
 // Runtime exposes the underlying runtime for advanced use (upgrades,
 // orchestrator control, crash injection in tests).
 func (p *Platform) Runtime() *runtime.Runtime { return p.rt }
+
+// Snapshot collects the platform's full telemetry tree: per-worker,
+// per-queue and per-stage breakdowns, the metric registry and recent
+// request traces.
+func (p *Platform) Snapshot() *runtime.Snapshot { return p.rt.Snapshot() }
 
 // AddDevice attaches a simulated storage device.
 func (p *Platform) AddDevice(name string, class device.Class, capacity int64) *device.Device {
