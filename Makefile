@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench telemetry
+.PHONY: build test vet race check bench bench-hotpath telemetry
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,13 @@ race:
 check:
 	sh scripts/check.sh
 
-bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+bench: bench-hotpath
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' .
+
+# bench-hotpath measures the batched/pooled hot path against the legacy
+# per-request path and records the scalar results in BENCH_hotpath.json.
+bench-hotpath:
+	$(GO) run ./cmd/labbench -exp hotpath -json BENCH_hotpath.json
 
 # telemetry runs the probe workload and dumps the runtime snapshot.
 telemetry:

@@ -23,8 +23,10 @@ import (
 	"testing"
 
 	"labstor"
+	"labstor/internal/core"
 	"labstor/internal/device"
 	"labstor/internal/experiments"
+	"labstor/internal/ipc"
 	"labstor/internal/runtime"
 )
 
@@ -249,6 +251,92 @@ func BenchmarkCreateEmptyFiles(b *testing.B) {
 		if _, err := s.Create(fmt.Sprintf("fs::/b/c-%d", i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchHotpath drives b.N requests through a one-vertex dummy stack in
+// windows of 64 outstanding requests. batch selects the worker drain batch
+// (1 = the legacy single-request poll path); pooled recycles requests
+// through core.AcquireRequest/Release and submits with SubmitBatch instead
+// of per-request SubmitStackAsync. Run with -benchmem: the
+// unbatched-vs-batched delta is ns/op, the heap-vs-pooled delta allocs/op.
+func benchHotpath(b *testing.B, batch int, pooled bool) {
+	b.Helper()
+	rt := runtime.New(runtime.Options{MaxWorkers: 1, QueueDepth: 4096, Batch: batch})
+	b.Cleanup(rt.Shutdown)
+	rt.AddDevice(device.New("dev0", device.NVMe, 32<<20))
+	stack, err := rt.Mount(core.NewStack("msg::/bench", core.Rules{}, []core.Vertex{
+		{UUID: "bench/dum", Type: "labstor.dummy"},
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Start()
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+
+	const window = 64
+	reqs := make([]*core.Request, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := window
+		if b.N-done < n {
+			n = b.N - done
+		}
+		for i := 0; i < n; i++ {
+			if pooled {
+				reqs[i] = core.AcquireRequest(core.OpMessage)
+			} else {
+				reqs[i] = core.NewRequest(core.OpMessage)
+			}
+		}
+		if pooled {
+			if err := cli.SubmitBatch(stack, reqs[:n]); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if err := cli.SubmitStackAsync(stack, reqs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := cli.WaitAll(reqs[:n]); err != nil {
+			b.Fatal(err)
+		}
+		if pooled {
+			for i := 0; i < n; i++ {
+				reqs[i].Release()
+			}
+		}
+		done += n
+	}
+}
+
+func BenchmarkHotpathUnbatchedHeap(b *testing.B) { benchHotpath(b, 1, false) }
+func BenchmarkHotpathBatchedHeap(b *testing.B)   { benchHotpath(b, 8, false) }
+func BenchmarkHotpathBatchedPooled(b *testing.B) { benchHotpath(b, 8, true) }
+
+// BenchmarkRequestLifecycleHeap / Pooled isolate the request object's
+// create-trace-complete-dispose cycle (the allocation the pool removes).
+func BenchmarkRequestLifecycleHeap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := core.NewRequest(core.OpMessage)
+		r.Trace = true
+		r.Charge("bench", 100)
+		r.MarkDone()
+	}
+}
+
+func BenchmarkRequestLifecyclePooled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := core.AcquireRequest(core.OpMessage)
+		r.Trace = true
+		r.Charge("bench", 100)
+		r.MarkDone()
+		r.Release()
 	}
 }
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -94,6 +95,13 @@ var catalog = []experiment{
 		}
 		return experiments.Filebench(iters, devs)
 	}},
+	{"hotpath", "Hot-path overhead: batched vs unbatched, pooled vs heap", func(quick bool) (*experiments.Result, error) {
+		ops := 200000
+		if quick {
+			ops = 40000
+		}
+		return experiments.Hotpath(ops, 8)
+	}},
 }
 
 func main() {
@@ -101,6 +109,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workload sizes for a fast smoke run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	telem := flag.Bool("telemetry", false, "run the probe workload and dump the telemetry snapshot")
+	jsonOut := flag.String("json", "", "write the Values of the experiments run to FILE as JSON")
 	flag.Parse()
 
 	if *telem {
@@ -125,6 +134,7 @@ func main() {
 	}
 
 	ran := 0
+	values := make(map[string]map[string]float64)
 	for _, e := range catalog {
 		if *exp != "all" && *exp != e.name {
 			continue
@@ -138,9 +148,25 @@ func main() {
 		}
 		fmt.Println(res.String())
 		fmt.Printf("(%s completed in %s wall time)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		if len(res.Values) > 0 {
+			values[e.name] = res.Values
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(values, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal values: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote values of %d experiment(s) to %s\n", len(values), *jsonOut)
 	}
 }

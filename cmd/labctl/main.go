@@ -69,8 +69,8 @@ func main() {
 		if err != nil {
 			fatal("parse: %v", err)
 		}
-		fmt.Printf("workers: %d\nqueue_depth: %d\npolicy: %s\nrebalance_ms: %d\n",
-			cfg.Workers, cfg.QueueDepth, cfg.Orchestrator.Policy, cfg.Orchestrator.RebalanceMs)
+		fmt.Printf("workers: %d\nqueue_depth: %d\nbatch: %d\npolicy: %s\nrebalance_ms: %d\n",
+			cfg.Workers, cfg.QueueDepth, cfg.Batch, cfg.Orchestrator.Policy, cfg.Orchestrator.RebalanceMs)
 		for _, d := range cfg.Devices {
 			fmt.Printf("device: %s class=%s capacity=%dMiB\n", d.Name, d.Class, d.Capacity>>20)
 		}

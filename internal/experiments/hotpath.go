@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	"labstor/internal/runtime"
+)
+
+// Hotpath measures the host-side cost of the submission/completion hot path
+// itself, isolating the platform's software overhead the way the paper's
+// request-latency anatomy does (§IV-A): a minimal one-vertex stack over a
+// cheap module, so ring operations, worker polling, telemetry and the
+// orchestrator — not the I/O stack — dominate.
+//
+// Two comparisons, both on the same run:
+//
+//   - unbatched vs batched: per-request SubmitStackAsync + single-slot worker
+//     polling (batch=1, the legacy path) against SubmitBatch + vectored
+//     worker drain + bulk completion (batch=N). Modeled virtual-time results
+//     are identical (see TestBatchEquivalence); the delta is pure wall-clock
+//     hot-path overhead.
+//   - heap vs pooled request lifecycle: NewRequest-per-op against
+//     AcquireRequest/Release recycling, reported as allocs/op via
+//     testing.Benchmark.
+//
+// ops is the total number of requests per throughput leg; batch is the
+// worker drain/submit window (<=1 falls back to 8).
+func Hotpath(ops, batch int) (*Result, error) {
+	if batch <= 1 {
+		batch = 8
+	}
+	if ops < batch {
+		ops = batch
+	}
+
+	// Both legs keep the same number of requests outstanding per round, so
+	// the only difference is the mechanics: per-request ring CAS + batch=1
+	// worker polling + heap requests, against one reservation per run +
+	// vectored drain + pooled requests.
+	window := 8 * batch
+	unbatched, err := hotpathThroughput(ops, window, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	batched, err := hotpathThroughput(ops, window, batch, true)
+	if err != nil {
+		return nil, err
+	}
+
+	heapAllocs, pooledAllocs := hotpathAllocs()
+
+	res := &Result{Name: "Batched hot path: vectored ring ops + request pooling"}
+	res.Table = newTable("path", "ops", "wall_ms", "Mops/s", "allocs/op")
+	res.Table.AddRowf("unbatched (batch=1, heap)", ops, float64(unbatched.Milliseconds()),
+		hotpathMops(ops, unbatched), heapAllocs)
+	res.Table.AddRowf(fmt.Sprintf("batched   (batch=%d, pooled)", batch), ops,
+		float64(batched.Milliseconds()), hotpathMops(ops, batched), pooledAllocs)
+
+	gain := 100 * (hotpathMops(ops, batched) - hotpathMops(ops, unbatched)) / hotpathMops(ops, unbatched)
+	allocCut := 100 * (heapAllocs - pooledAllocs) / heapAllocs
+	res.Notes = fmt.Sprintf(
+		"batched throughput %+.1f%% vs unbatched; pooled lifecycle cuts allocs/op by %.1f%% (%.1f -> %.1f)",
+		gain, allocCut, heapAllocs, pooledAllocs)
+
+	res.V("ops", float64(ops))
+	res.V("batch", float64(batch))
+	res.V("unbatched_mops", hotpathMops(ops, unbatched))
+	res.V("batched_mops", hotpathMops(ops, batched))
+	res.V("throughput_gain_pct", gain)
+	res.V("heap_allocs_per_op", heapAllocs)
+	res.V("pooled_allocs_per_op", pooledAllocs)
+	res.V("alloc_reduction_pct", allocCut)
+	return res, nil
+}
+
+// hotpathThroughput pushes ops requests through a one-vertex dummy stack in
+// windows of `window` outstanding requests and returns the wall time.
+// workerBatch sets the worker drain batch; pooled selects the
+// recycled-request + vectored-submit fast path.
+func hotpathThroughput(ops, window, workerBatch int, pooled bool) (time.Duration, error) {
+	rt := runtime.New(runtime.Options{MaxWorkers: 1, QueueDepth: 4096, Batch: workerBatch})
+	rt.AddDevice(device.New("dev0", device.NVMe, 32<<20))
+	stack, err := rt.Mount(core.NewStack("msg::/hot", core.Rules{}, []core.Vertex{
+		{UUID: "hot/dum", Type: "labstor.dummy"},
+	}))
+	if err != nil {
+		return 0, err
+	}
+	rt.Start()
+	defer rt.Shutdown()
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+
+	reqs := make([]*core.Request, window)
+	start := time.Now()
+	for done := 0; done < ops; {
+		n := window
+		if ops-done < n {
+			n = ops - done
+		}
+		for i := 0; i < n; i++ {
+			if pooled {
+				reqs[i] = core.AcquireRequest(core.OpMessage)
+			} else {
+				reqs[i] = core.NewRequest(core.OpMessage)
+			}
+		}
+		if pooled {
+			if err := cli.SubmitBatch(stack, reqs[:n]); err != nil {
+				return 0, err
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if err := cli.SubmitStackAsync(stack, reqs[i]); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if err := cli.WaitAll(reqs[:n]); err != nil {
+			return 0, err
+		}
+		if pooled {
+			for i := 0; i < n; i++ {
+				reqs[i].Release()
+			}
+		}
+		done += n
+	}
+	return time.Since(start), nil
+}
+
+// hotpathAllocs measures the request lifecycle cost in allocs/op: create a
+// request, charge one traced stage (the sampled hot path records stages),
+// complete it, and either drop it for the GC or recycle it through the pool.
+func hotpathAllocs() (heap, pooled float64) {
+	lifecycle := func(r *core.Request) {
+		r.Trace = true
+		r.Charge("hot", 100)
+		r.MarkDone()
+	}
+	h := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := core.NewRequest(core.OpMessage)
+			lifecycle(r)
+		}
+	})
+	p := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := core.AcquireRequest(core.OpMessage)
+			lifecycle(r)
+			r.Release()
+		}
+	})
+	return float64(h.AllocsPerOp()), float64(p.AllocsPerOp())
+}
+
+func hotpathMops(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds() / 1e6
+}

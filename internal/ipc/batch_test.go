@@ -1,0 +1,242 @@
+package ipc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestRingEnqueueBatchFIFO(t *testing.T) {
+	r := NewRing[int](16)
+	in := []int{10, 11, 12, 13, 14}
+	if n := r.EnqueueBatch(in); n != len(in) {
+		t.Fatalf("EnqueueBatch = %d, want %d", n, len(in))
+	}
+	if r.Len() != len(in) {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// Batch-enqueued items come out in vals order via single dequeues.
+	for i, want := range in {
+		got, err := r.Dequeue()
+		if err != nil || got != want {
+			t.Fatalf("Dequeue[%d] = %d, %v; want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestRingDequeueBatchFIFO(t *testing.T) {
+	r := NewRing[int](16)
+	for i := 0; i < 6; i++ {
+		if err := r.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]int, 4)
+	if n := r.DequeueBatch(dst); n != 4 {
+		t.Fatalf("DequeueBatch = %d, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		if dst[i] != i {
+			t.Fatalf("dst[%d] = %d (FIFO violated)", i, dst[i])
+		}
+	}
+	if n := r.DequeueBatch(dst); n != 2 || dst[0] != 4 || dst[1] != 5 {
+		t.Fatalf("tail batch: n=%d dst=%v", n, dst[:2])
+	}
+}
+
+func TestRingBatchPartialAtFull(t *testing.T) {
+	r := NewRing[int](4) // capacity 4
+	if err := r.Enqueue(0); err != nil {
+		t.Fatal(err)
+	}
+	// Only 3 slots remain: a batch of 5 must partially succeed with 3.
+	in := []int{1, 2, 3, 4, 5}
+	if n := r.EnqueueBatch(in); n != 3 {
+		t.Fatalf("partial EnqueueBatch = %d, want 3", n)
+	}
+	// Ring is now full: further batch enqueues report 0 and count a reject.
+	before := r.Stats().Rejects
+	if n := r.EnqueueBatch(in); n != 0 {
+		t.Fatalf("EnqueueBatch on full ring = %d, want 0", n)
+	}
+	if got := r.Stats().Rejects; got != before+1 {
+		t.Fatalf("rejects = %d, want %d", got, before+1)
+	}
+	// FIFO across the single + partial-batch enqueues.
+	for i := 0; i < 4; i++ {
+		v, err := r.Dequeue()
+		if err != nil || v != i {
+			t.Fatalf("Dequeue = %d, %v; want %d", v, err, i)
+		}
+	}
+}
+
+func TestRingBatchPartialAtEmpty(t *testing.T) {
+	r := NewRing[int](8)
+	dst := make([]int, 4)
+	if n := r.DequeueBatch(dst); n != 0 {
+		t.Fatalf("DequeueBatch on empty ring = %d, want 0", n)
+	}
+	r.Enqueue(7)
+	r.Enqueue(8)
+	if n := r.DequeueBatch(dst); n != 2 || dst[0] != 7 || dst[1] != 8 {
+		t.Fatalf("partial DequeueBatch: n=%d dst=%v", n, dst[:2])
+	}
+	if n := r.DequeueBatch(dst); n != 0 {
+		t.Fatalf("drained ring DequeueBatch = %d, want 0", n)
+	}
+}
+
+func TestRingBatchZeroLength(t *testing.T) {
+	r := NewRing[int](4)
+	if n := r.EnqueueBatch(nil); n != 0 {
+		t.Fatalf("EnqueueBatch(nil) = %d", n)
+	}
+	if n := r.DequeueBatch(nil); n != 0 {
+		t.Fatalf("DequeueBatch(nil) = %d", n)
+	}
+}
+
+// TestRingBatchConcurrentNoLoss pushes batches from several producers and
+// drains batches from several consumers under the race detector: no item may
+// be lost or duplicated.
+func TestRingBatchConcurrentNoLoss(t *testing.T) {
+	r := NewRing[[2]int](256)
+	const producers, perProducer, batch = 4, 4096, 7
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			buf := make([][2]int, 0, batch)
+			next := 0
+			for next < perProducer {
+				buf = buf[:0]
+				for i := 0; i < batch && next+i < perProducer; i++ {
+					buf = append(buf, [2]int{p, next + i})
+				}
+				sent := 0
+				for sent < len(buf) {
+					n := r.EnqueueBatch(buf[sent:])
+					if n == 0 {
+						runtime.Gosched()
+					}
+					sent += n
+				}
+				next += len(buf)
+			}
+		}(p)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[[2]int]int)
+	var cg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			dst := make([][2]int, batch+3)
+			for {
+				n := r.DequeueBatch(dst)
+				if n == 0 {
+					select {
+					case <-done:
+						if n = r.DequeueBatch(dst); n == 0 {
+							return
+						}
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				mu.Lock()
+				for i := 0; i < n; i++ {
+					seen[dst[i]]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	// Final drain in case the consumers exited with residue.
+	dst := make([][2]int, batch)
+	for {
+		n := r.DequeueBatch(dst)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			seen[dst[i]]++
+		}
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("lost items: got %d unique, want %d", len(seen), producers*perProducer)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %v seen %d times", k, c)
+		}
+	}
+}
+
+// TestRingBatchMixedWithSingleOps interleaves batch and single-item
+// operations on the same ring: the two protocols must compose without loss.
+func TestRingBatchMixedWithSingleOps(t *testing.T) {
+	r := NewRing[int](128)
+	const total = 10000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // batch producer of evens
+		defer wg.Done()
+		buf := make([]int, 0, 8)
+		for v := 0; v < total; v += 2 {
+			buf = append(buf, v)
+			if len(buf) == cap(buf) || v+2 >= total {
+				sent := 0
+				for sent < len(buf) {
+					n := r.EnqueueBatch(buf[sent:])
+					if n == 0 {
+						runtime.Gosched()
+					}
+					sent += n
+				}
+				buf = buf[:0]
+			}
+		}
+	}()
+	go func() { // single-op producer of odds
+		defer wg.Done()
+		for v := 1; v < total; v += 2 {
+			for r.Enqueue(v) != nil {
+				runtime.Gosched()
+			}
+		}
+	}()
+	seen := make(map[int]bool, total)
+	dst := make([]int, 5)
+	prodDone := make(chan struct{})
+	go func() { wg.Wait(); close(prodDone) }()
+	for len(seen) < total {
+		if v, err := r.Dequeue(); err == nil {
+			seen[v] = true
+		}
+		n := r.DequeueBatch(dst)
+		for i := 0; i < n; i++ {
+			seen[dst[i]] = true
+		}
+		if n == 0 {
+			select {
+			case <-prodDone:
+				if r.Len() == 0 && len(seen) < total {
+					t.Fatalf("producers done, ring empty, only %d/%d seen", len(seen), total)
+				}
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+}

@@ -99,8 +99,23 @@ func (q *QueuePair[T]) Submit(v T) error {
 	return nil
 }
 
+// SubmitBatch places up to len(vals) requests on the submission queue with
+// a single ring reservation, returning how many were enqueued (a partial
+// count when the ring fills mid-batch).
+func (q *QueuePair[T]) SubmitBatch(vals []T) int {
+	n := q.sq.EnqueueBatch(vals)
+	if n > 0 {
+		q.inflight.Add(int64(n))
+	}
+	return n
+}
+
 // PollSQ removes the oldest submitted request (worker side).
 func (q *QueuePair[T]) PollSQ() (T, error) { return q.sq.Dequeue() }
+
+// PollSQBatch removes up to len(dst) submitted requests with a single ring
+// reservation (worker side), returning how many were dequeued.
+func (q *QueuePair[T]) PollSQBatch(dst []T) int { return q.sq.DequeueBatch(dst) }
 
 // Complete places a finished request on the completion queue.
 func (q *QueuePair[T]) Complete(v T) error {
@@ -111,8 +126,22 @@ func (q *QueuePair[T]) Complete(v T) error {
 	return nil
 }
 
+// CompleteBatch places up to len(vals) finished requests on the completion
+// queue with a single ring reservation, returning how many were enqueued.
+func (q *QueuePair[T]) CompleteBatch(vals []T) int {
+	n := q.cq.EnqueueBatch(vals)
+	if n > 0 {
+		q.inflight.Add(-int64(n))
+	}
+	return n
+}
+
 // PollCQ removes the oldest completion (client side).
 func (q *QueuePair[T]) PollCQ() (T, error) { return q.cq.Dequeue() }
+
+// PollCQBatch removes up to len(dst) completions with a single ring
+// reservation (client side), returning how many were dequeued.
+func (q *QueuePair[T]) PollCQBatch(dst []T) int { return q.cq.DequeueBatch(dst) }
 
 // Inflight returns the number of submitted-but-not-completed requests.
 func (q *QueuePair[T]) Inflight() int { return int(q.inflight.Load()) }

@@ -13,8 +13,15 @@ package ipc
 
 import (
 	"errors"
+	"runtime"
 	"sync/atomic"
 )
+
+// spinYield backs off a slot-state spin wait. The wait is bounded: the peer
+// has already advanced the shared cursor past the slot, so it completes the
+// fill/release in a handful of instructions unless descheduled — in which
+// case yielding the processor is exactly what lets it finish.
+func spinYield() { runtime.Gosched() }
 
 // ErrFull is returned by Enqueue when the ring has no free slots.
 var ErrFull = errors.New("ipc: ring full")
@@ -120,6 +127,97 @@ func (r *Ring[T]) Enqueue(v T) error {
 			pos = r.enqueue.Load()
 		}
 	}
+}
+
+// EnqueueBatch adds as many of vals as fit, in order, and returns how many
+// were enqueued (0 when the ring is full). The whole run of slots is
+// reserved with a single CAS on the enqueue cursor, so the per-item cost of
+// a batch is one store plus one release instead of a CAS pair — the
+// vectored-submission analogue of io_uring's batched SQE publication.
+//
+// FIFO order within the batch is preserved: a consumer observes the items
+// in the order they appear in vals.
+func (r *Ring[T]) EnqueueBatch(vals []T) int {
+	if len(vals) == 0 {
+		return 0
+	}
+	var pos, n uint64
+	for {
+		pos = r.enqueue.Load()
+		// Clamp to the free space implied by the dequeue cursor. The cursor
+		// only moves forward, so a stale read under-counts free slots —
+		// never over-commits.
+		d := r.dequeue.Load()
+		if pos < d {
+			// pos is stale (read before d advanced past it); reload.
+			continue
+		}
+		free := uint64(len(r.slots)) - (pos - d)
+		if free == 0 {
+			r.rejects.Add(1)
+			return 0
+		}
+		n = uint64(len(vals))
+		if n > free {
+			n = free
+		}
+		if r.enqueue.CompareAndSwap(pos, pos+n) {
+			break
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		p := pos + i
+		s := &r.slots[p&r.mask]
+		// A reserved slot is free (seq == p) or mid-release by a consumer
+		// that already advanced the dequeue cursor past it; spin briefly.
+		for s.seq.Load() != p {
+			spinYield()
+		}
+		s.val = vals[i]
+		s.seq.Store(p + 1)
+	}
+	return int(n)
+}
+
+// DequeueBatch removes up to len(dst) of the oldest items into dst, in FIFO
+// order, and returns how many were dequeued (0 when the ring is empty). The
+// run of slots is reserved with one CAS on the dequeue cursor — the batched
+// completion-reaping analogue of SPDK's polled batch completions.
+func (r *Ring[T]) DequeueBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	var zero T
+	var pos, n uint64
+	for {
+		pos = r.dequeue.Load()
+		// Clamp to the published items implied by the enqueue cursor; a
+		// stale read under-counts, never over-commits.
+		e := r.enqueue.Load()
+		if e <= pos {
+			return 0
+		}
+		n = uint64(len(dst))
+		if avail := e - pos; n > avail {
+			n = avail
+		}
+		if r.dequeue.CompareAndSwap(pos, pos+n) {
+			break
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		p := pos + i
+		s := &r.slots[p&r.mask]
+		// A reserved slot is published (seq == p+1) or mid-fill by a
+		// producer that already advanced the enqueue cursor past it.
+		for s.seq.Load() != p+1 {
+			spinYield()
+		}
+		dst[i] = s.val
+		s.val = zero
+		s.seq.Store(p + r.mask + 1)
+	}
+	return int(n)
 }
 
 // Dequeue removes and returns the oldest item; it returns ErrEmpty if the

@@ -2,7 +2,6 @@ package labfs
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -54,10 +53,28 @@ func newInodeTable(shards int) *inodeTable {
 	return t
 }
 
+// fnv32a is FNV-1a inlined over the string bytes: the hash/fnv digest
+// allocates on every lookup (and forces a []byte conversion of path), which
+// put one heap object per metadata op on the hot path.
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
 func (t *inodeTable) shard(path string) *inodeShard {
-	h := fnv.New32a()
-	h.Write([]byte(path))
-	return &t.shards[int(h.Sum32())%len(t.shards)]
+	return &t.shards[t.shardIndex(path)]
+}
+
+func (t *inodeTable) shardIndex(path string) int {
+	return int(fnv32a(path)) % len(t.shards)
 }
 
 // vlockFor exposes the shard's virtual-time lock for modeled charging.
@@ -105,14 +122,35 @@ func (t *inodeTable) Delete(path string) (*inode, bool) {
 	return ino, ok
 }
 
-// Rename moves an inode to a new path (cross-shard safe).
+// Rename atomically moves an inode to a new path. Both shards are locked
+// for the whole move — in index order when they differ, once when they
+// coincide — so a concurrent Get never observes the window where the inode
+// exists under neither path (the race a Delete-then-Put sequence opens).
 func (t *inodeTable) Rename(from, to string) error {
-	ino, ok := t.Delete(from)
+	fi, ti := t.shardIndex(from), t.shardIndex(to)
+	fs, ts := &t.shards[fi], &t.shards[ti]
+	switch {
+	case fi == ti:
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+	case fi < ti:
+		fs.mu.Lock()
+		ts.mu.Lock()
+		defer fs.mu.Unlock()
+		defer ts.mu.Unlock()
+	default:
+		ts.mu.Lock()
+		fs.mu.Lock()
+		defer ts.mu.Unlock()
+		defer fs.mu.Unlock()
+	}
+	ino, ok := fs.inodes[from]
 	if !ok {
 		return fmt.Errorf("labfs: rename: %q does not exist", from)
 	}
+	delete(fs.inodes, from)
 	ino.Path = to
-	t.Put(ino)
+	ts.inodes[to] = ino
 	return nil
 }
 

@@ -50,6 +50,12 @@ type Client struct {
 	mSubmitted *telemetry.Counter // async submissions enqueued
 	mSyncRuns  *telemetry.Counter // sync-mode (client-side) executions
 	mRingFull  *telemetry.Counter // submit retries after a full SQ ring
+
+	// cqBuf is the reusable completion-reap buffer: Wait drains the CQ with
+	// one vectored ring reservation per run instead of one CAS pair per
+	// slot. A Client serves a single application thread (the paper's
+	// per-thread client library instance), so the buffer is not locked.
+	cqBuf []*core.Request
 }
 
 // Connect registers a new client with the Runtime and allocates its primary
@@ -72,6 +78,11 @@ func (rt *Runtime) Connect(cred ipc.Credentials) *Client {
 		OriginCore:      id,
 	}
 	c.syncExec = core.NewExec(rt.Registry, rt.Namespace, rt.opts.Model, -1)
+	cqBuf := rt.opts.QueueDepth
+	if cqBuf > 256 {
+		cqBuf = 256
+	}
+	c.cqBuf = make([]*core.Request, cqBuf)
 	c.mSubmitted = rt.metrics.Counter("client.submitted")
 	c.mSyncRuns = rt.metrics.Counter("client.sync_executed")
 	c.mRingFull = rt.metrics.Counter("client.sq_full_retries")
@@ -223,19 +234,79 @@ func (c *Client) SubmitStackAsync(s *core.Stack, req *core.Request) error {
 	}
 }
 
-// WaitAll reaps a batch of async submissions, advancing the client clock to
-// the latest completion.
-func (c *Client) WaitAll(reqs []*core.Request) error {
+// SubmitBatch stamps and enqueues a run of requests on the client's queue
+// pair with as few ring reservations as possible (one when the ring has
+// room) and returns without waiting — the vectored counterpart of
+// SubmitStackAsync. Reap with WaitAll. All requests share one submission
+// timestamp, exactly as if the application thread had queued them
+// back-to-back without observing completions in between.
+//
+// Sync-mode stacks have no queue to batch into; they fall back to
+// sequential inline execution.
+func (c *Client) SubmitBatch(s *core.Stack, reqs []*core.Request) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if s.Rules.ExecMode == core.ExecSync {
+		for _, req := range reqs {
+			if err := c.SubmitStack(s, req); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	now := c.clock.Now()
+	queueOp := c.rt.opts.Model.QueueOp
 	for _, req := range reqs {
-		if err := c.Wait(req); err != nil {
+		req.StackID = s.ID
+		req.Cred = core.Cred{UID: c.cred.UID, GID: c.cred.GID}
+		req.OriginCore = c.OriginCore
+		req.Arrival = now
+		req.Clock = now
+		req.Charge("queue", queueOp)
+	}
+	sent := 0
+	for sent < len(reqs) {
+		if err := c.checkAlive(); err != nil {
+			// Reqs before sent are already queued; the caller must still
+			// WaitAll them if the Runtime comes back.
 			return err
 		}
+		n := c.qp.SubmitBatch(reqs[sent:])
+		if n == 0 {
+			// Ring full: let the workers drain it.
+			c.mRingFull.Inc()
+			c.rt.pokeWorkers()
+			gort.Gosched()
+			continue
+		}
+		sent += n
+		c.mSubmitted.Add(int64(n))
+	}
+	c.rt.pokeWorkers()
+	return nil
+}
+
+// WaitAll reaps a batch of async submissions, advancing the client clock to
+// the latest completion. Every request is drained even when one fails —
+// returning early would leak the remaining requests' CQ slots and leave the
+// client clock behind their completions — and the first error (wait failure
+// or request error, in submission order) is reported after the drain.
+func (c *Client) WaitAll(reqs []*core.Request) error {
+	var firstErr error
+	for _, req := range reqs {
+		if err := c.Wait(req); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
 		c.clock.AdvanceTo(req.Clock)
-		if req.Err != nil {
-			return req.Err
+		if req.Err != nil && firstErr == nil {
+			firstErr = req.Err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // Call builds, submits and waits for a request in one step.
@@ -253,20 +324,41 @@ func (c *Client) Call(mount string, op core.Op, build func(*core.Request)) (*cor
 // RestartPatience), triggers StateRepair through the client library, and
 // resubmits the request (paper §III-C3).
 func (c *Client) Wait(req *core.Request) error {
-	deadline := time.Now().Add(c.RestartPatience)
+	// One timer for the whole wait, created only if we actually block: the
+	// old per-iteration time.After allocated a timer (and its channel) every
+	// 2ms spin, and reaping an already-completed request needs none at all.
+	var timer *time.Timer
+	var deadline time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		// Drain the completion queue: completions are signaled per-request
-		// via MarkDone, but the CQ ring slots must be recycled.
+		// via MarkDone, but the CQ ring slots must be recycled. One vectored
+		// reservation reaps a whole run of slots.
 		for {
-			if _, err := c.qp.PollCQ(); err != nil {
+			if n := c.qp.PollCQBatch(c.cqBuf); n == 0 {
 				break
 			}
 		}
 		select {
 		case <-req.DoneCh():
 			return nil
-		case <-time.After(2 * time.Millisecond):
-			// Periodic wakeup to detect a crashed/stopped Runtime.
+		default:
+		}
+		if timer == nil {
+			deadline = time.Now().Add(c.RestartPatience)
+			timer = time.NewTimer(2 * time.Millisecond)
+		}
+		select {
+		case <-req.DoneCh():
+			return nil
+		case <-timer.C:
+			// Periodic wakeup to detect a crashed/stopped Runtime. The timer
+			// has fired, so Reset is race-free here.
+			timer.Reset(2 * time.Millisecond)
 		}
 		if c.rt.Crashed() {
 			if err := c.awaitRestart(deadline); err != nil {

@@ -112,6 +112,18 @@ func (o *Orchestrator) Queues() []*QP {
 // ObserveRequest feeds the classifier: workers report each processed
 // request's CPU cost and completion virtual time.
 func (o *Orchestrator) ObserveRequest(qpID int, cpu vtime.Duration, completion vtime.Time) {
+	o.ObserveBatch(qpID, 1, cpu, completion)
+}
+
+// ObserveBatch folds a whole worker drain into the per-queue demand stats
+// under a single mutex acquisition — the batched hot path's amortization of
+// the per-request ObserveRequest lock. The EWMA cost estimate is advanced
+// once per request using the batch's mean cost, so a batch of one is
+// identical to ObserveRequest.
+func (o *Orchestrator) ObserveBatch(qpID int, n int, cpu vtime.Duration, completion vtime.Time) {
+	if n <= 0 {
+		return
+	}
 	o.mu.Lock()
 	qs, ok := o.perQueue[qpID]
 	if !ok {
@@ -119,12 +131,15 @@ func (o *Orchestrator) ObserveRequest(qpID int, cpu vtime.Duration, completion v
 		o.perQueue[qpID] = qs
 	}
 	qs.cpuNS += float64(cpu)
-	qs.count++
+	qs.count += int64(n)
 	if completion > qs.lastVT {
 		qs.lastVT = completion
 	}
 	const alpha = 0.3
-	qs.estNS = (1-alpha)*qs.estNS + alpha*float64(cpu)
+	mean := float64(cpu) / float64(n)
+	for i := 0; i < n; i++ {
+		qs.estNS = (1-alpha)*qs.estNS + alpha*mean
+	}
 	o.mu.Unlock()
 }
 

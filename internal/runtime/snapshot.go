@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"labstor/internal/core"
 	"labstor/internal/ipc"
 	"labstor/internal/stats"
 	"labstor/internal/telemetry"
@@ -50,6 +51,14 @@ type Snapshot struct {
 // Runtime. It is safe to call concurrently with request processing; values
 // are individually consistent, not a global atomic cut.
 func (rt *Runtime) Snapshot() *Snapshot {
+	// Publish request-pool stats (process-wide sync.Pool counters) as gauges
+	// so they appear in the metrics tree alongside ring/worker counters.
+	ps := core.RequestPoolStats()
+	rt.metrics.Gauge("reqpool.gets").Set(ps.Gets)
+	rt.metrics.Gauge("reqpool.hits").Set(ps.Hits)
+	rt.metrics.Gauge("reqpool.misses").Set(ps.Misses)
+	rt.metrics.Gauge("reqpool.releases").Set(ps.Releases)
+
 	snap := &Snapshot{
 		Workers: rt.Stats(),
 		Stages:  rt.PerfCounters(),

@@ -39,15 +39,21 @@ type Worker struct {
 
 	// queues assigned by the orchestrator (copy-on-write).
 	queues atomic.Pointer[[]*QP]
+
+	// batchBuf is the reusable drain buffer: up to len(batchBuf) requests
+	// are taken from a queue per scan with one vectored ring reservation.
+	// len == 1 selects the original single-request poll path.
+	batchBuf []*Request
 }
 
 func newWorker(rt *Runtime, id int) *Worker {
 	w := &Worker{
-		rt:   rt,
-		id:   id,
-		exec: core.NewExec(rt.Registry, rt.Namespace, rt.opts.Model, id),
-		quit: make(chan struct{}),
-		wake: make(chan struct{}, 1),
+		rt:       rt,
+		id:       id,
+		exec:     core.NewExec(rt.Registry, rt.Namespace, rt.opts.Model, id),
+		quit:     make(chan struct{}),
+		wake:     make(chan struct{}, 1),
+		batchBuf: make([]*Request, rt.opts.Batch),
 	}
 	empty := []*QP{}
 	w.queues.Store(&empty)
@@ -139,8 +145,8 @@ func (w *Worker) run(wg *sync.WaitGroup) {
 	}
 }
 
-// pollOnce scans assigned queues once, processing at most one request per
-// queue. It returns whether any request was processed.
+// pollOnce scans assigned queues once, draining up to Options.Batch
+// requests per queue. It returns whether any request was processed.
 func (w *Worker) pollOnce() bool {
 	w.polls.Add(1)
 	any := false
@@ -154,12 +160,23 @@ func (w *Worker) pollOnce() bool {
 		case ipc.UpdateAcked:
 			continue
 		}
-		req, err := qp.PollSQ()
-		if err != nil {
+		if len(w.batchBuf) == 1 {
+			// Batch=1: the original single-request path, unchanged.
+			req, err := qp.PollSQ()
+			if err != nil {
+				continue
+			}
+			any = true
+			w.processRequest(qp, req)
+			continue
+		}
+		// Vectored drain: one ring reservation for the whole run.
+		n := qp.PollSQBatch(w.batchBuf)
+		if n == 0 {
 			continue
 		}
 		any = true
-		w.processRequest(qp, req)
+		w.processBatch(qp, w.batchBuf[:n])
 	}
 	if !any {
 		w.emptyPolls.Add(1)
@@ -171,12 +188,74 @@ func (w *Worker) pollOnce() bool {
 func (w *Worker) processRequest(qp *QP, req *Request) {
 	w.inProcess.Store(true)
 	defer w.inProcess.Store(false)
+
+	cpuUsed, _, sampled := w.executeOne(qp, req, w.processed.Load())
+
+	w.busy.Add(int64(cpuUsed))
+	w.processed.Add(1)
+	w.rt.orch.ObserveRequest(qp.ID, cpuUsed, req.Clock)
+	if sampled {
+		req.Trace = false
+	}
+
+	if err := qp.Complete(req); err != nil {
+		// Completion ring full: fall back to direct completion.
+		req.MarkDone()
+		return
+	}
+	req.MarkDone()
+}
+
+// processBatch walks a drained run of requests through their stacks and
+// publishes the completions in bulk. Requests still execute one at a time
+// and serialize individually on the worker's virtual clock — the batch
+// only amortizes the host-side costs around them: the SQ reservation
+// (already taken by the caller), worker counters, the orchestrator
+// observation (one mutex acquisition per batch instead of per request),
+// the batch-size histogram, and the CQ reservation.
+func (w *Worker) processBatch(qp *QP, reqs []*Request) {
+	w.inProcess.Store(true)
+	defer w.inProcess.Store(false)
+
+	base := w.processed.Load()
+	var totalCPU vtime.Duration
+	var lastClock vtime.Time
+	for i, req := range reqs {
+		cpuUsed, _, sampled := w.executeOne(qp, req, base+int64(i))
+		totalCPU += cpuUsed
+		if req.Clock > lastClock {
+			lastClock = req.Clock
+		}
+		if sampled {
+			req.Trace = false
+		}
+	}
+
+	w.busy.Add(int64(totalCPU))
+	w.processed.Add(int64(len(reqs)))
+	w.rt.orch.ObserveBatch(qp.ID, len(reqs), totalCPU, lastClock)
+	w.rt.hBatch.Observe(float64(len(reqs)))
+
+	// One CQ reservation for the whole batch; requests that do not fit
+	// (completion ring full) fall back to direct completion via MarkDone.
+	qp.CompleteBatch(reqs)
+	for _, req := range reqs {
+		req.MarkDone()
+	}
+}
+
+// executeOne performs the per-request portion of the hot path: sampling
+// decision, IPC charge, FCFS serialization on the worker clock, the stack
+// walk, and trace capture. seq is the request's position in the worker's
+// processed sequence (feeding the 1-in-N sampler). It returns the charged
+// CPU time, whether the stack lookup succeeded, and whether the request
+// was sampled (caller clears req.Trace after completion bookkeeping).
+func (w *Worker) executeOne(qp *QP, req *Request, seq int64) (cpuUsed vtime.Duration, ok bool, sampled bool) {
 	model := w.rt.opts.Model
 
 	// Sample a fraction of requests with tracing on to feed the Runtime's
 	// per-stage performance counters.
-	sampled := false
-	if n := w.rt.opts.PerfSampleEvery; n > 0 && !req.Trace && w.processed.Load()%int64(n) == 0 {
+	if n := w.rt.opts.PerfSampleEvery; n > 0 && !req.Trace && seq%int64(n) == 0 {
 		req.Trace = true
 		sampled = true
 	}
@@ -190,7 +269,8 @@ func (w *Worker) processRequest(qp *QP, req *Request) {
 	req.AdvanceTo(begin)
 
 	cpuBefore := cpuOf(req)
-	stack, ok := w.rt.Namespace.ByID(req.StackID)
+	var stack *core.Stack
+	stack, ok = w.rt.Namespace.ByID(req.StackID)
 	if ok {
 		if err := w.exec.Submit(stack, req); err != nil && req.Err == nil {
 			req.Err = err
@@ -198,14 +278,11 @@ func (w *Worker) processRequest(qp *QP, req *Request) {
 	} else if req.Err == nil {
 		req.Err = errNoStack(req.StackID)
 	}
-	cpuUsed := cpuOf(req) - cpuBefore
+	cpuUsed = cpuOf(req) - cpuBefore
 
 	// The worker was busy for the software portion of the walk; device
 	// service overlaps with the worker polling other queues.
 	w.clock.AdvanceTo(begin.Add(cpuUsed))
-	w.busy.Add(int64(cpuUsed))
-	w.processed.Add(1)
-	w.rt.orch.ObserveRequest(qp.ID, cpuUsed, req.Clock)
 	if sampled {
 		w.rt.recordPerf(req.Stages)
 		mount := ""
@@ -213,15 +290,8 @@ func (w *Worker) processRequest(qp *QP, req *Request) {
 			mount = stack.Mount
 		}
 		w.rt.recordTrace(w.id, qp.ID, mount, req, begin)
-		req.Trace = false
 	}
-
-	if err := qp.Complete(req); err != nil {
-		// Completion ring full: fall back to direct completion.
-		req.MarkDone()
-		return
-	}
-	req.MarkDone()
+	return cpuUsed, ok, sampled
 }
 
 // cpuOf sums a request's charged (CPU) stage costs. Device stages advance

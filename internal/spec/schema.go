@@ -146,6 +146,11 @@ type RuntimeConfig struct {
 	QueueDepth      int
 	UpgradePollMs   int
 	MaxReposPerUser int
+	// Batch is the worker drain batch size: up to Batch requests are taken
+	// from a queue per scan with one vectored ring reservation. 1 (the
+	// default) selects the single-request poll path, byte-for-byte identical
+	// to the unbatched runtime.
+	Batch int
 	// PerfSampleEvery is the telemetry sampling period: one request in N is
 	// traced (0 = runtime default of 64, negative disables sampling).
 	PerfSampleEvery int
@@ -164,6 +169,7 @@ func DefaultRuntimeConfig() *RuntimeConfig {
 		QueueDepth:      1024,
 		UpgradePollMs:   5,
 		MaxReposPerUser: 8,
+		Batch:           1,
 		Orchestrator: OrchestratorSpec{
 			Policy:          "dynamic",
 			RebalanceMs:     10,
@@ -186,6 +192,7 @@ func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
 		cfg.QueueDepth = rt.Int("queue_depth", cfg.QueueDepth)
 		cfg.UpgradePollMs = rt.Int("upgrade_poll_ms", cfg.UpgradePollMs)
 		cfg.MaxReposPerUser = rt.Int("max_repos_per_user", cfg.MaxReposPerUser)
+		cfg.Batch = rt.Int("batch", cfg.Batch)
 		cfg.PerfSampleEvery = rt.Int("perf_sample_every", cfg.PerfSampleEvery)
 		cfg.TraceRing = rt.Int("trace_ring", cfg.TraceRing)
 	}

@@ -53,6 +53,10 @@ type Config struct {
 	Policy string
 	// QueueDepth is the per-client queue-pair depth (default 1024).
 	QueueDepth int
+	// Batch is the worker drain batch size: up to Batch requests are taken
+	// from a queue per scan with one vectored ring reservation (default 1 =
+	// the single-request poll path; clamped to QueueDepth).
+	Batch int
 	// RebalanceEvery enables the periodic orchestrator rebalance loop.
 	RebalanceEvery time.Duration
 	// PerfSampleEvery is the telemetry sampling period: one request in N
@@ -72,6 +76,7 @@ func NewPlatform(cfg Config) *Platform {
 		MaxWorkers:      cfg.Workers,
 		Policy:          cfg.Policy,
 		QueueDepth:      cfg.QueueDepth,
+		Batch:           cfg.Batch,
 		RebalanceEvery:  cfg.RebalanceEvery,
 		PerfSampleEvery: cfg.PerfSampleEvery,
 	})

@@ -3,6 +3,9 @@
 #   1. tier-1: go build ./... && go test ./...
 #   2. static analysis: go vet ./...
 #   3. concurrency: go test -race ./...
+#   4. hot-path soak: the lock-free ring and worker/client hot path, twice
+#      under the race detector with shuffled test order, to surface
+#      ordering-dependent races the single straight-line pass can miss.
 # Run from the repository root (or via `make check`).
 set -eu
 cd "$(dirname "$0")/.."
@@ -18,5 +21,8 @@ go vet ./...
 
 echo "== go test -race ./... =="
 go test -race ./...
+
+echo "== go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... =="
+go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/...
 
 echo "== check: OK =="
