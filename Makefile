@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-hotpath telemetry
+.PHONY: build test vet race check bench bench-hotpath bench-contention telemetry
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,11 @@ bench: bench-hotpath
 # per-request path and records the scalar results in BENCH_hotpath.json.
 bench-hotpath:
 	$(GO) run ./cmd/labbench -exp hotpath -json BENCH_hotpath.json
+
+# bench-contention measures multi-writer device-store scaling, striped vs
+# global lock, and records the scalar results in BENCH_contention.json.
+bench-contention:
+	$(GO) run ./cmd/labbench -exp contention -json BENCH_contention.json
 
 # telemetry runs the probe workload and dumps the runtime snapshot.
 telemetry:

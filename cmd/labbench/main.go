@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	gort "runtime"
+	"runtime/pprof"
 	"time"
 
 	"labstor/internal/device"
@@ -102,6 +104,13 @@ var catalog = []experiment{
 		}
 		return experiments.Hotpath(ops, 8)
 	}},
+	{"contention", "Device-store lock striping vs global mutex (wall clock)", func(quick bool) (*experiments.Result, error) {
+		ops := 300000
+		if quick {
+			ops = 20000
+		}
+		return experiments.Contention([]int{1, 2, 4, 8}, ops, 4096)
+	}},
 }
 
 func main() {
@@ -110,7 +119,39 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	telem := flag.Bool("telemetry", false, "run the probe workload and dump the telemetry snapshot")
 	jsonOut := flag.String("json", "", "write the Values of the experiments run to FILE as JSON")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			gort.GC() // flush recent frees so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *telem {
 		ops := 500

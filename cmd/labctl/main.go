@@ -72,7 +72,7 @@ func main() {
 		fmt.Printf("workers: %d\nqueue_depth: %d\nbatch: %d\npolicy: %s\nrebalance_ms: %d\n",
 			cfg.Workers, cfg.QueueDepth, cfg.Batch, cfg.Orchestrator.Policy, cfg.Orchestrator.RebalanceMs)
 		for _, d := range cfg.Devices {
-			fmt.Printf("device: %s class=%s capacity=%dMiB\n", d.Name, d.Class, d.Capacity>>20)
+			fmt.Printf("device: %s class=%s capacity=%dMiB stripes=%d\n", d.Name, d.Class, d.Capacity>>20, d.Stripes)
 		}
 	case "stats":
 		stats(os.Args[2:])

@@ -53,8 +53,9 @@ func main() {
 
 	rt := runtime.New(runtime.FromConfig(cfg))
 	for _, ds := range cfg.Devices {
-		rt.AddDevice(device.New(ds.Name, ds.Class, ds.Capacity))
-		fmt.Printf("device %-8s %-5s %6d MiB\n", ds.Name, ds.Class, ds.Capacity>>20)
+		dev := device.NewStriped(ds.Name, ds.Class, ds.Capacity, ds.Stripes)
+		rt.AddDevice(dev)
+		fmt.Printf("device %-8s %-5s %6d MiB  %d stripes\n", ds.Name, ds.Class, ds.Capacity>>20, dev.Stripes())
 	}
 	rt.Start()
 	defer rt.Shutdown()

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Payload buffer arena: the data path allocates transient byte buffers on
+// every cache miss, log-block flush and read completion — at millions of
+// ops/s that is the dominant GC pressure after request pooling (pool.go).
+// AcquireBuf/ReleaseBuf recycle those buffers through per-size-class
+// sync.Pools, mirroring the paper's preallocated shared-memory data slabs.
+//
+// Classes are powers of two from 1<<arenaMinBits to 1<<arenaMaxBits; a
+// request for n bytes returns a slice of length n whose capacity is the
+// class size. Requests above the largest class fall through to the heap
+// (counted as misses). Buffers come back with whatever bytes the previous
+// user left in them — callers that depend on zeroing must clear the buffer
+// themselves.
+const (
+	arenaMinBits = 9  // 512 B — smallest class
+	arenaMaxBits = 21 // 2 MiB — largest class
+	arenaClasses = arenaMaxBits - arenaMinBits + 1
+)
+
+var arenaPools [arenaClasses]sync.Pool
+
+var (
+	arenaGets     atomic.Int64 // AcquireBuf calls
+	arenaMisses   atomic.Int64 // Acquires that had to allocate
+	arenaReleases atomic.Int64 // buffers accepted back by ReleaseBuf
+	arenaBytes    atomic.Int64 // cumulative bytes handed out by AcquireBuf
+)
+
+func init() {
+	for i := range arenaPools {
+		size := 1 << (arenaMinBits + i)
+		arenaPools[i].New = func() any {
+			arenaMisses.Add(1)
+			b := make([]byte, size)
+			return &b
+		}
+	}
+}
+
+// arenaClass returns the size-class index for n, or -1 if n exceeds the
+// largest class.
+func arenaClass(n int) int {
+	c := 0
+	for size := 1 << arenaMinBits; size < n; size <<= 1 {
+		c++
+	}
+	if c >= arenaClasses {
+		return -1
+	}
+	return c
+}
+
+// AcquireBuf returns a buffer of length n drawn from the arena when n fits a
+// size class, falling back to the heap otherwise. The contents are
+// unspecified (recycled buffers are not zeroed).
+func AcquireBuf(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	arenaGets.Add(1)
+	arenaBytes.Add(int64(n))
+	c := arenaClass(n)
+	if c < 0 {
+		arenaMisses.Add(1)
+		return make([]byte, n)
+	}
+	b := *arenaPools[c].Get().(*[]byte)
+	return b[:n]
+}
+
+// ReleaseBuf returns a buffer to the arena. Only buffers whose capacity is
+// exactly a class size are accepted (i.e. buffers that came from AcquireBuf
+// or happen to match a class); anything else — including nil and oversized
+// heap fallbacks — is silently left to the GC, so it is always safe to call.
+// The caller must not touch b afterwards.
+func ReleaseBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<arenaMinBits || c > 1<<arenaMaxBits || c&(c-1) != 0 {
+		return
+	}
+	cls := arenaClass(c)
+	arenaReleases.Add(1)
+	b = b[:c]
+	arenaPools[cls].Put(&b)
+}
+
+// ArenaStats is the buffer arena's cumulative accounting. Hits is Gets that
+// were served by a recycled (or pool-cached) buffer.
+type ArenaStats struct {
+	Gets     int64 `json:"gets"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Releases int64 `json:"releases"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// BufArenaStats snapshots the arena counters (telemetry).
+func BufArenaStats() ArenaStats {
+	gets := arenaGets.Load()
+	misses := arenaMisses.Load()
+	return ArenaStats{
+		Gets:     gets,
+		Hits:     gets - misses,
+		Misses:   misses,
+		Releases: arenaReleases.Load(),
+		Bytes:    arenaBytes.Load(),
+	}
+}
+
+// CompleteValue allocates the request's result buffer (r.Value) from the
+// arena and returns it. Drivers and stores use it for read completions whose
+// payload the caller did not supply a buffer for; Release returns the buffer
+// to the arena, which is why Release's contract requires results to be
+// copied out first.
+func (r *Request) CompleteValue(n int) []byte {
+	r.Value = AcquireBuf(n)
+	return r.Value
+}

@@ -39,11 +39,17 @@ func AcquireRequest(op Op) *Request {
 	return r
 }
 
-// Release returns a completed request to the pool. The caller must not touch
-// r afterwards. Never call Release on a request that is still queued,
+// Release returns a completed request to the pool, recycling its result
+// buffer through the payload arena (Value buffers are arena-allocated by
+// CompleteValue; ReleaseBuf ignores foreign buffers). The caller must not
+// touch r afterwards. Never call Release on a request that is still queued,
 // executing, or being waited on.
 func (r *Request) Release() {
 	poolPuts.Add(1)
+	if r.Value != nil {
+		ReleaseBuf(r.Value)
+		r.Value = nil
+	}
 	reqPool.Put(r)
 }
 

@@ -163,8 +163,20 @@ func New(name string, class Class, capacity int64) *Device {
 	return NewWithProfile(name, ProfileFor(class), capacity)
 }
 
+// NewStriped creates a device with an explicit sparse-store stripe count
+// (0 = DefaultStripes, 1 = single global lock).
+func NewStriped(name string, class Class, capacity int64, stripes int) *Device {
+	return NewWithProfileStriped(name, ProfileFor(class), capacity, stripes)
+}
+
 // NewWithProfile creates a device with an explicit profile.
 func NewWithProfile(name string, p Profile, capacity int64) *Device {
+	return NewWithProfileStriped(name, p, capacity, 0)
+}
+
+// NewWithProfileStriped creates a device with an explicit profile and
+// sparse-store stripe count.
+func NewWithProfileStriped(name string, p Profile, capacity int64, stripes int) *Device {
 	if p.Parallelism < 1 {
 		p.Parallelism = 1
 	}
@@ -174,7 +186,7 @@ func NewWithProfile(name string, p Profile, capacity int64) *Device {
 	d := &Device{
 		Name:    name,
 		Profile: p,
-		store:   NewSparseStore(capacity),
+		store:   NewSparseStoreStriped(capacity, stripes),
 		server:  vtime.NewServer(p.Parallelism),
 		hctx:    make([]*vtime.Lock, p.HardwareQueues),
 	}
@@ -189,6 +201,12 @@ func (d *Device) HardwareQueues() int { return len(d.hctx) }
 
 // Capacity returns the device capacity in bytes.
 func (d *Device) Capacity() int64 { return d.store.Capacity() }
+
+// Stripes returns the sparse store's lock-stripe count.
+func (d *Device) Stripes() int { return d.store.Stripes() }
+
+// Materialized returns the bytes actually allocated in the sparse store.
+func (d *Device) Materialized() int64 { return d.store.Materialized() }
 
 // Class returns the device class.
 func (d *Device) Class() Class { return d.Profile.Class }

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+// TestShapeContention is a smoke-sized run: both modes produce throughput
+// and the speedup values are recorded. The striped>global assertion at high
+// client counts is left to the checked-in BENCH_contention.json (wall-clock
+// scaling on a loaded CI box is too noisy for a hard test gate).
+func TestShapeContention(t *testing.T) {
+	res, err := Contention([]int{1, 2}, 2000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"global_c1_mops", "striped_c1_mops", "global_c2_mops", "striped_c2_mops", "speedup_c2", "stripes"} {
+		if res.Values[k] <= 0 {
+			t.Fatalf("value %q = %v, want > 0", k, res.Values[k])
+		}
+	}
+	if res.Values["stripes"] < 8 {
+		t.Fatalf("default stripes %v, want >= 8", res.Values["stripes"])
+	}
+}

@@ -78,8 +78,9 @@ func (c *Compressor) processWrite(e *core.Exec, req *core.Request) error {
 	orig := req.Data
 	req.Charge("compress", e.Model.Compress(len(orig)))
 
+	var hdr [frameHeader]byte
 	var buf bytes.Buffer
-	buf.Write(make([]byte, frameHeader))
+	buf.Write(hdr[:])
 	w, err := flate.NewWriter(&buf, c.level)
 	if err != nil {
 		return err
@@ -92,9 +93,11 @@ func (c *Compressor) processWrite(e *core.Exec, req *core.Request) error {
 	}
 
 	framed := buf.Bytes()
+	var scratch []byte // arena buffer to release after the downstream write
 	if buf.Len()-frameHeader >= len(orig) {
-		// Incompressible: store raw.
-		framed = make([]byte, frameHeader+len(orig))
+		// Incompressible: store raw in an arena scratch frame.
+		framed = core.AcquireBuf(frameHeader + len(orig))
+		scratch = framed
 		framed[0] = flagRaw
 		binary.BigEndian.PutUint32(framed[1:frameHeader], uint32(len(orig)))
 		copy(framed[frameHeader:], orig)
@@ -115,6 +118,7 @@ func (c *Compressor) processWrite(e *core.Exec, req *core.Request) error {
 	// Restore the caller's view of the payload.
 	req.Data = orig
 	req.Size = len(orig)
+	core.ReleaseBuf(scratch)
 	if err == nil {
 		req.Result = int64(len(orig))
 	}
@@ -124,9 +128,10 @@ func (c *Compressor) processWrite(e *core.Exec, req *core.Request) error {
 func (c *Compressor) processRead(e *core.Exec, req *core.Request) error {
 	want := req.Size
 	dst := req.Data
-	// Read the full frame region downstream. The frame is at most
-	// header + original size (raw fallback guarantee).
-	frame := make([]byte, frameHeader+want)
+	// Read the full frame region downstream into an arena scratch buffer.
+	// The frame is at most header + original size (raw fallback guarantee).
+	frame := core.AcquireBuf(frameHeader + want)
+	defer core.ReleaseBuf(frame)
 	req.Data = frame
 	req.Size = len(frame)
 	err := e.Next(req)

@@ -100,8 +100,9 @@ func (d *KernelDriver) Process(e *core.Exec, req *core.Request) error {
 	req.Charge("driver", e.Model.KernelDriverSubmit)
 	buf := req.Data
 	if op == device.Read && buf == nil {
-		buf = make([]byte, req.Size)
-		req.Value = buf
+		// Arena-backed result buffer: recycled when the caller Releases the
+		// request (the device read below fills it fully).
+		buf = req.CompleteValue(req.Size)
 	}
 	_, end, err := d.dev.SubmitToQueue(req.Hctx, op, req.Offset, buf, req.Clock)
 	if err != nil {
@@ -169,8 +170,9 @@ func (d *SPDK) Process(e *core.Exec, req *core.Request) error {
 	req.Charge("driver", e.Model.SPDKSubmit)
 	buf := req.Data
 	if op == device.Read && buf == nil {
-		buf = make([]byte, req.Size)
-		req.Value = buf
+		// Arena-backed result buffer: recycled when the caller Releases the
+		// request (the device read below fills it fully).
+		buf = req.CompleteValue(req.Size)
 	}
 	_, end, err := d.dev.SubmitToQueue(req.Hctx, op, req.Offset, buf, req.Clock)
 	if err != nil {
@@ -243,8 +245,9 @@ func (d *DAX) Process(e *core.Exec, req *core.Request) error {
 	req.Charge("driver", e.Model.DAXAccessSetup)
 	buf := req.Data
 	if op == device.Read && buf == nil {
-		buf = make([]byte, req.Size)
-		req.Value = buf
+		// Arena-backed result buffer: recycled when the caller Releases the
+		// request (the device read below fills it fully).
+		buf = req.CompleteValue(req.Size)
 	}
 	_, end, err := d.dev.Submit(op, req.Offset, buf, req.Clock)
 	if err != nil {

@@ -1,0 +1,173 @@
+package labfs
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Binary metadata log record format. Each record is framed as
+//
+//	[magic 0xA7][payload length, 4B LE][payload CRC32 (IEEE), 4B LE][payload]
+//
+// and the payload is a fixed sequence of varint fields:
+//
+//	seq (uvarint) · op code (1 byte) · path (uvarint len + bytes) ·
+//	path2 (uvarint len + bytes) · mode (uvarint) · uid (varint) ·
+//	gid (varint) · block_idx (varint) · phys (varint) · size (varint)
+//
+// Replay semantics mirror the old JSON-lines format exactly: a block whose
+// first byte is zero holds no entries (zero padding never begins a record
+// because the magic byte is nonzero); within a block, a zero byte where a
+// record should start is the padding terminator; a failed magic, short
+// frame, CRC mismatch, unknown op code or malformed varint is a torn tail
+// and stops the scan. The per-record CRC is what makes torn (partially
+// persisted) records detectable now that entries are no longer
+// self-describing text lines.
+const (
+	recMagic  = 0xA7
+	recHeader = 9 // magic + length + crc
+)
+
+// Op kinds map to single-byte codes on the device; the string constants in
+// log.go stay the in-memory representation so replay logic and tests are
+// untouched.
+var opToCode = map[string]byte{
+	logCreate:   1,
+	logMkdir:    2,
+	logUnlink:   3,
+	logRmdir:    4,
+	logRename:   5,
+	logTruncate: 6,
+	logExtent:   7,
+	logSetSize:  8,
+}
+
+var codeToOp = func() map[byte]string {
+	m := make(map[byte]string, len(opToCode))
+	for s, c := range opToCode {
+		m[c] = s
+	}
+	return m
+}()
+
+// appendRecord encodes ent as one framed record appended to dst and returns
+// the extended slice. Unknown op kinds encode as code 0 and are rejected at
+// decode — they cannot occur through the Append API.
+func appendRecord(dst []byte, ent *logEntry) []byte {
+	start := len(dst)
+	// Reserve the frame header; the payload is encoded in place after it.
+	dst = append(dst, recMagic, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = binary.AppendUvarint(dst, ent.Seq)
+	dst = append(dst, opToCode[ent.Op])
+	dst = binary.AppendUvarint(dst, uint64(len(ent.Path)))
+	dst = append(dst, ent.Path...)
+	dst = binary.AppendUvarint(dst, uint64(len(ent.Path2)))
+	dst = append(dst, ent.Path2...)
+	dst = binary.AppendUvarint(dst, uint64(ent.Mode))
+	dst = binary.AppendVarint(dst, int64(ent.UID))
+	dst = binary.AppendVarint(dst, int64(ent.GID))
+	dst = binary.AppendVarint(dst, ent.BlockIdx)
+	dst = binary.AppendVarint(dst, ent.Phys)
+	dst = binary.AppendVarint(dst, ent.Size)
+	payload := dst[start+recHeader:]
+	binary.LittleEndian.PutUint32(dst[start+1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+5:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// decodeRecord decodes the record at the start of b. It returns the entry,
+// the number of bytes consumed, and what the scan should do next: recMore
+// (entry valid, keep scanning), recEnd (zero padding — clean end of the
+// block's records) or recTorn (corruption — stop replay here).
+type recStatus int
+
+const (
+	recMore recStatus = iota
+	recEnd
+	recTorn
+)
+
+func decodeRecord(b []byte) (ent logEntry, n int, st recStatus) {
+	if len(b) == 0 || b[0] == 0 {
+		return ent, 0, recEnd
+	}
+	if b[0] != recMagic || len(b) < recHeader {
+		return ent, 0, recTorn
+	}
+	plen := int(binary.LittleEndian.Uint32(b[1:5]))
+	if plen <= 0 || recHeader+plen > len(b) {
+		return ent, 0, recTorn
+	}
+	payload := b[recHeader : recHeader+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[5:recHeader]) {
+		return ent, 0, recTorn
+	}
+	d := varintDecoder{b: payload}
+	ent.Seq = d.uvarint()
+	op, okOp := codeToOp[d.byte()]
+	ent.Op = op
+	ent.Path = d.str()
+	ent.Path2 = d.str()
+	ent.Mode = uint32(d.uvarint())
+	ent.UID = int(d.varint())
+	ent.GID = int(d.varint())
+	ent.BlockIdx = d.varint()
+	ent.Phys = d.varint()
+	ent.Size = d.varint()
+	if d.bad || !okOp || d.off != len(payload) {
+		// A checksummed payload that fails structural decode means a codec
+		// mismatch, not a torn write, but the safe recovery action is the
+		// same: stop at the last good record.
+		return logEntry{}, 0, recTorn
+	}
+	return ent, recHeader + plen, recMore
+}
+
+// varintDecoder walks a payload's fixed field sequence, latching any
+// malformation into bad instead of returning errors field-by-field.
+type varintDecoder struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *varintDecoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *varintDecoder) varint() int64 {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *varintDecoder) byte() byte {
+	if d.off >= len(d.b) {
+		d.bad = true
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *varintDecoder) str() string {
+	ln := d.uvarint()
+	if d.bad || ln > uint64(len(d.b)-d.off) {
+		d.bad = true
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(ln)])
+	d.off += int(ln)
+	return s
+}

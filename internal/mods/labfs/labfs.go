@@ -483,22 +483,28 @@ func (f *LabFS) truncateTo(e *core.Exec, req *core.Request, ino *inode, size int
 	// read as zeros (POSIX), not as stale block content.
 	if inBlock := size % bs; inBlock != 0 {
 		if phys, ok := ino.Blocks[size/bs]; ok {
+			blockBuf := core.AcquireBuf(f.blockSize)
+			defer core.ReleaseBuf(blockBuf)
 			rc := req.Child(core.OpBlockRead)
 			rc.Offset = phys * bs
 			rc.Size = f.blockSize
-			rc.Data = make([]byte, f.blockSize)
-			if err := e.Next(rc); err != nil {
+			rc.Data = blockBuf
+			err := e.Next(rc)
+			rc.Data = nil
+			if err != nil {
 				return err
 			}
 			req.Absorb(rc)
 			for i := inBlock; i < bs; i++ {
-				rc.Data[i] = 0
+				blockBuf[i] = 0
 			}
 			wc := req.Child(core.OpBlockWrite)
 			wc.Offset = phys * bs
 			wc.Size = f.blockSize
-			wc.Data = rc.Data
-			if err := e.Next(wc); err != nil {
+			wc.Data = blockBuf
+			err = e.Next(wc)
+			wc.Data = nil
+			if err != nil {
 				return err
 			}
 			req.Absorb(wc)
@@ -582,30 +588,43 @@ func (f *LabFS) write(e *core.Exec, req *core.Request) error {
 		child := req.Child(core.OpBlockWrite)
 		child.Clock = base
 		child.Offset = phys * bs
+		var scratch []byte // arena block to release after the write
 		if inBlock == 0 && n == f.blockSize {
 			// Full-block write.
 			child.Size = f.blockSize
 			child.Data = data[written : written+n]
 		} else {
-			// Partial block: read-modify-write.
-			blockBuf := make([]byte, f.blockSize)
+			// Partial block: read-modify-write through an arena scratch block.
+			scratch = core.AcquireBuf(f.blockSize)
 			if have {
 				rc := req.Child(core.OpBlockRead)
 				rc.Clock = base
 				rc.Offset = phys * bs
 				rc.Size = f.blockSize
-				rc.Data = blockBuf
-				if err := e.Next(rc); err != nil {
+				rc.Data = scratch
+				err := e.Next(rc)
+				rc.Data = nil
+				if err != nil {
+					core.ReleaseBuf(scratch)
 					return err
 				}
 				child.Clock = rc.Clock
 				req.Absorb(rc)
+			} else {
+				// Fresh block: the unwritten tail must read as zeros, and
+				// arena buffers come back dirty.
+				for i := range scratch {
+					scratch[i] = 0
+				}
 			}
-			copy(blockBuf[inBlock:], data[written:written+n])
+			copy(scratch[inBlock:], data[written:written+n])
 			child.Size = f.blockSize
-			child.Data = blockBuf
+			child.Data = scratch
 		}
-		if err := e.Next(child); err != nil {
+		err := e.Next(child)
+		child.Data = nil
+		core.ReleaseBuf(scratch)
+		if err != nil {
 			return err
 		}
 		req.Absorb(child)
@@ -651,6 +670,8 @@ func (f *LabFS) read(e *core.Exec, req *core.Request) error {
 	bs := int64(f.blockSize)
 	base := req.Clock
 	read := int64(0)
+	blockBuf := core.AcquireBuf(f.blockSize)
+	defer core.ReleaseBuf(blockBuf)
 	for read < want {
 		idx := (req.Offset + read) / bs
 		inBlock := int((req.Offset + read) % bs)
@@ -671,9 +692,10 @@ func (f *LabFS) read(e *core.Exec, req *core.Request) error {
 		child.Clock = base
 		child.Offset = phys * bs
 		child.Size = f.blockSize
-		blockBuf := make([]byte, f.blockSize)
 		child.Data = blockBuf
-		if err := e.Next(child); err != nil {
+		err := e.Next(child)
+		child.Data = nil
+		if err != nil {
 			return err
 		}
 		req.Absorb(child)

@@ -1,10 +1,9 @@
 package labfs
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"labstor/internal/core"
 )
@@ -23,67 +22,89 @@ const (
 
 // logEntry is one record of LabFS's per-worker metadata log. LabFS stores
 // only the log on the device and reconstructs all inodes in memory by
-// traversing it (paper §III-E). Entries are JSON lines packed into log
-// blocks — self-describing and crash-parseable.
+// traversing it (paper §III-E). Entries are packed into log blocks as
+// length-prefixed, CRC-framed binary records (codec.go) — compact and
+// crash-parseable: replay stops at the first torn record.
 type logEntry struct {
-	Seq   uint64 `json:"s"`
-	Op    string `json:"o"`
-	Path  string `json:"p,omitempty"`
-	Path2 string `json:"q,omitempty"`
-	Mode  uint32 `json:"m,omitempty"`
-	UID   int    `json:"u,omitempty"`
-	GID   int    `json:"g,omitempty"`
+	Seq   uint64
+	Op    string
+	Path  string
+	Path2 string
+	Mode  uint32
+	UID   int
+	GID   int
 	// Extent fields: file block index -> physical block.
-	BlockIdx int64 `json:"b,omitempty"`
-	Phys     int64 `json:"f,omitempty"`
-	Size     int64 `json:"z,omitempty"`
+	BlockIdx int64
+	Phys     int64
+	Size     int64
 }
 
 // metaLog buffers metadata log entries and persists them into the log
 // region of the device via downstream block writes.
+//
+// Locking: mu guards only the in-memory buffer state (head/buf/dirty) and
+// is never held across encoding or downstream device writes — encoding
+// happens before mu is taken, and block writes happen after it is dropped,
+// so concurrent appenders serialize only on the buffer splice. Write
+// ordering is preserved by per-block versions: every detached block image
+// gets a version under mu, and wmu serializes the actual device writes,
+// dropping any image older than one already persisted for the same block
+// (a stale partial-block Flush must never overwrite a newer fuller image).
 type metaLog struct {
-	mu        sync.Mutex
 	blockSize int
 	logBlocks int64 // log region: blocks [0, logBlocks)
-	head      int64 // next log block to fill
-	buf       []byte
-	seq       uint64
-	dirty     bool
+	seq       atomic.Uint64
+
+	mu    sync.Mutex
+	head  int64 // next log block to fill
+	buf   []byte
+	dirty bool
+	wver  uint64 // version source for detached block images
+
+	wmu     sync.Mutex       // serializes downstream block writes
+	written map[int64]uint64 // block -> newest version persisted
 }
 
 func newMetaLog(blockSize int, logBlocks int64) *metaLog {
-	return &metaLog{blockSize: blockSize, logBlocks: logBlocks}
+	return &metaLog{blockSize: blockSize, logBlocks: logBlocks, written: make(map[int64]uint64)}
 }
 
 // Append records an entry in the buffer, flushing full blocks downstream.
-// The device write happens under the log mutex: a concurrent Flush or
-// Append must not write an older view of a block over a newer one.
+// The record is encoded before the log mutex is taken and the device write
+// happens after it is released, so two workers appending concurrently
+// serialize only on the buffer splice, not on the encode or the I/O.
 func (l *metaLog) Append(e *core.Exec, parent *core.Request, ent logEntry) error {
+	ent.Seq = l.seq.Add(1)
+	rec := appendRecord(nil, &ent)
+	if len(rec) >= l.blockSize {
+		return fmt.Errorf("labfs: log entry exceeds block size (%d bytes)", len(rec))
+	}
+
+	var full []byte
+	var fullAt int64
+	var fullVer uint64
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.seq++
-	ent.Seq = l.seq
-	line, err := json.Marshal(ent)
-	if err != nil {
-		return err
-	}
-	line = append(line, '\n')
-	if len(line) >= l.blockSize {
-		return fmt.Errorf("labfs: log entry exceeds block size (%d bytes)", len(line))
-	}
-	if len(l.buf)+len(line) > l.blockSize {
-		// Current block is full: persist it and advance the head.
-		full := pad(l.buf, l.blockSize)
-		fullAt := l.head
+	if len(l.buf)+len(rec) > l.blockSize {
+		// Current block is full: detach a padded image and advance the head;
+		// the write itself happens outside the lock.
+		full = padBlock(l.buf, l.blockSize)
+		fullAt = l.head
+		l.wver++
+		fullVer = l.wver
 		l.head++
-		l.buf = nil
-		if err := l.writeBlock(e, parent, fullAt, full); err != nil {
+		l.buf = l.buf[:0]
+	}
+	l.buf = append(l.buf, rec...)
+	l.dirty = true
+	overflow := l.head >= l.logBlocks
+	l.mu.Unlock()
+
+	if full != nil {
+		if err := l.writeVersioned(e, parent, fullAt, fullVer, full); err != nil {
 			return err
 		}
 	}
-	l.buf = append(l.buf, line...)
-	l.dirty = true
-	if l.head >= l.logBlocks {
+	if overflow {
 		return fmt.Errorf("labfs: metadata log region full (%d blocks); checkpoint required", l.logBlocks)
 	}
 	return nil
@@ -92,17 +113,42 @@ func (l *metaLog) Append(e *core.Exec, parent *core.Request, ent logEntry) error
 // Flush persists the current partial block (fsync / close / unmount path).
 func (l *metaLog) Flush(e *core.Exec, parent *core.Request) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if !l.dirty {
+		l.mu.Unlock()
 		return nil
 	}
-	blk := pad(l.buf, l.blockSize)
+	blk := padBlock(l.buf, l.blockSize)
 	at := l.head
-	if err := l.writeBlock(e, parent, at, blk); err != nil {
+	l.wver++
+	ver := l.wver
+	l.dirty = false
+	l.mu.Unlock()
+
+	if err := l.writeVersioned(e, parent, at, ver, blk); err != nil {
+		l.mu.Lock()
+		l.dirty = true
+		l.mu.Unlock()
 		return err
 	}
-	l.dirty = false
 	return nil
+}
+
+// writeVersioned pushes a detached block image downstream unless a newer
+// image of the same block has already been persisted. The image buffer is
+// returned to the payload arena either way.
+func (l *metaLog) writeVersioned(e *core.Exec, parent *core.Request, blockNo int64, ver uint64, data []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if v, ok := l.written[blockNo]; ok && v >= ver {
+		core.ReleaseBuf(data)
+		return nil
+	}
+	err := l.writeBlock(e, parent, blockNo, data)
+	if err == nil {
+		l.written[blockNo] = ver
+	}
+	core.ReleaseBuf(data)
+	return err
 }
 
 func (l *metaLog) writeBlock(e *core.Exec, parent *core.Request, blockNo int64, data []byte) error {
@@ -110,55 +156,62 @@ func (l *metaLog) writeBlock(e *core.Exec, parent *core.Request, blockNo int64, 
 	child.Offset = blockNo * int64(l.blockSize)
 	child.Size = len(data)
 	child.Data = data
-	return e.SpawnNext(parent, child)
+	err := e.SpawnNext(parent, child)
+	child.Data = nil // data goes back to the arena; drop the alias
+	return err
 }
 
 // Reset clears the log state (before checkpoint or replay).
 func (l *metaLog) Reset() {
 	l.mu.Lock()
+	l.wmu.Lock()
 	l.head = 0
 	l.buf = nil
 	l.dirty = false
+	l.written = make(map[int64]uint64)
+	l.wmu.Unlock()
 	l.mu.Unlock()
 }
 
 // Entries returns the current sequence counter.
-func (l *metaLog) Entries() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.seq
-}
+func (l *metaLog) Entries() uint64 { return l.seq.Load() }
 
 // Replay reads the log region downstream and returns the decoded entries in
-// order. The scan stops at the first block that holds no entries.
+// order. The scan stops at the first block that holds no entries; within a
+// block it stops at the zero-padding terminator or — for the torn tail of a
+// crashed log — at the first record whose frame or checksum is invalid.
 func (l *metaLog) Replay(e *core.Exec, parent *core.Request) ([]logEntry, error) {
 	var entries []logEntry
 	var lastUsed int64 = -1
+	blockBuf := core.AcquireBuf(l.blockSize)
+	defer core.ReleaseBuf(blockBuf)
 	for b := int64(0); b < l.logBlocks; b++ {
 		child := parent.Child(core.OpBlockRead)
 		child.Offset = b * int64(l.blockSize)
 		child.Size = l.blockSize
-		child.Data = make([]byte, l.blockSize)
-		if err := e.SpawnNext(parent, child); err != nil {
+		child.Data = blockBuf
+		err := e.SpawnNext(parent, child)
+		child.Data = nil
+		if err != nil {
 			return nil, err
 		}
-		data := child.Data
+		data := blockBuf
 		if len(data) == 0 || data[0] == 0 {
 			break
 		}
 		lastUsed = b
-		for _, line := range bytes.Split(data, []byte{'\n'}) {
-			line = bytes.TrimRight(line, "\x00")
-			if len(line) == 0 {
-				continue
+		for off := 0; off < len(data); {
+			ent, n, st := decodeRecord(data[off:])
+			if st == recEnd {
+				break
 			}
-			var ent logEntry
-			if err := json.Unmarshal(line, &ent); err != nil {
+			if st == recTorn {
 				// Torn tail of the last block: stop at the first corrupt
-				// line (crash-consistency: entries are atomic lines).
+				// record (crash-consistency: records are atomic frames).
 				return entries, nil
 			}
 			entries = append(entries, ent)
+			off += n
 		}
 	}
 	// Resume appending after the last used block.
@@ -166,20 +219,28 @@ func (l *metaLog) Replay(e *core.Exec, parent *core.Request) ([]logEntry, error)
 	l.head = lastUsed + 1
 	l.buf = nil
 	l.dirty = false
-	if n := uint64(len(entries)); n > l.seq {
-		l.seq = n
-	}
+	l.mu.Unlock()
+	seq := uint64(len(entries))
 	for _, ent := range entries {
-		if ent.Seq > l.seq {
-			l.seq = ent.Seq
+		if ent.Seq > seq {
+			seq = ent.Seq
 		}
 	}
-	l.mu.Unlock()
+	if seq > l.seq.Load() {
+		l.seq.Store(seq)
+	}
 	return entries, nil
 }
 
-func pad(b []byte, size int) []byte {
-	out := make([]byte, size)
-	copy(out, b)
+// padBlock copies b into a zero-padded arena buffer of the given size.
+// Zeroing the tail matters: the padding terminator is what Replay uses to
+// find the end of a block's records, and arena buffers come back dirty.
+func padBlock(b []byte, size int) []byte {
+	out := core.AcquireBuf(size)
+	n := copy(out, b)
+	tail := out[n:]
+	for i := range tail {
+		tail[i] = 0
+	}
 	return out
 }

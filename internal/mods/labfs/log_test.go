@@ -1,7 +1,10 @@
 package labfs
 
 import (
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"labstor/internal/core"
 	"labstor/internal/device"
@@ -143,6 +146,116 @@ func TestMetaLogOversizedEntryRejected(t *testing.T) {
 	})
 	if !rejected {
 		t.Fatal("oversized entry accepted")
+	}
+}
+
+// gateSink is a terminal block module whose FIRST OpBlockWrite parks until
+// released, simulating a slow device write. It lets the test below prove
+// that an in-flight downstream log write no longer blocks other appenders.
+type gateSink struct {
+	core.Base
+	dev     *device.Device
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (s *gateSink) Info() core.ModuleInfo {
+	return core.ModuleInfo{Type: "test.gatesink", Consumes: core.APIBlock, Produces: core.APIDriver}
+}
+
+func (s *gateSink) Process(e *core.Exec, req *core.Request) error {
+	if req.Op == core.OpBlockWrite {
+		first := false
+		s.once.Do(func() { first = true })
+		if first {
+			close(s.entered)
+			<-s.release
+		}
+		_, err := s.dev.WriteAt(req.Data, req.Offset)
+		return err
+	}
+	if req.Op == core.OpBlockRead {
+		_, err := s.dev.ReadAt(req.Data, req.Offset)
+		return err
+	}
+	return nil
+}
+
+func (s *gateSink) EstProcessingTime(core.Op, int) vtime.Duration { return 0 }
+
+// TestMetaLogConcurrentAppendNotSerialized: worker A fills a log block and
+// stalls inside the downstream device write; worker B's Append of a
+// buffered entry must complete while A is still stalled. Before the
+// critical-section shrink, Append held metaLog.mu across the encode and the
+// SpawnNext, so B would block behind A's device write.
+func TestMetaLogConcurrentAppendNotSerialized(t *testing.T) {
+	dev := device.New("d", device.NVMe, 16<<20)
+	gate := &gateSink{dev: dev, entered: make(chan struct{}), release: make(chan struct{})}
+	l := newMetaLog(4096, 64)
+
+	filler := logEntry{Op: logCreate, Path: strings.Repeat("x", 100)}
+	reg := core.NewRegistry()
+	reg.Register("head", &headMod{fn: func(e *core.Exec, req *core.Request) error {
+		if req.Path == "fill" {
+			// Enough appends to fill a block and trigger the gated write.
+			for i := 0; i < 60; i++ {
+				if err := l.Append(e, req, filler); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return l.Append(e, req, logEntry{Op: logUnlink, Path: "quick"})
+	}})
+	reg.Register("sink", gate)
+	st := core.NewStack("m", core.Rules{}, []core.Vertex{
+		{UUID: "head", Outputs: []string{"sink"}},
+		{UUID: "sink"},
+	})
+
+	fillDone := make(chan error, 1)
+	go func() {
+		req := core.NewRequest(core.OpNop)
+		req.Path = "fill"
+		err := core.NewExec(reg, nil, nil, 0).Submit(st, req)
+		if err == nil {
+			err = req.Err
+		}
+		fillDone <- err
+	}()
+
+	select {
+	case <-gate.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("filler never reached the device write")
+	}
+
+	// A is parked inside the downstream write. B's buffered append must not
+	// serialize behind it.
+	quickDone := make(chan error, 1)
+	go func() {
+		req := core.NewRequest(core.OpNop)
+		req.Path = "quick"
+		err := core.NewExec(reg, nil, nil, 1).Submit(st, req)
+		if err == nil {
+			err = req.Err
+		}
+		quickDone <- err
+	}()
+
+	select {
+	case err := <-quickDone:
+		if err != nil {
+			t.Fatalf("concurrent append failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append serialized behind the in-flight log block write")
+	}
+
+	close(gate.release)
+	if err := <-fillDone; err != nil {
+		t.Fatalf("filler: %v", err)
 	}
 }
 

@@ -233,11 +233,17 @@ func (k *LabKVS) put(e *core.Exec, req *core.Request) error {
 		if hi > len(data) {
 			hi = len(data)
 		}
-		buf := make([]byte, k.blockSize)
-		copy(buf, data[lo:hi])
+		buf := core.AcquireBuf(k.blockSize)
+		n := copy(buf, data[lo:hi])
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0 // zero the block tail (arena buffers come back dirty)
+		}
 		child.Size = k.blockSize
 		child.Data = buf
-		if err := e.Next(child); err != nil {
+		err := e.Next(child)
+		child.Data = nil
+		core.ReleaseBuf(buf)
+		if err != nil {
 			return err
 		}
 		req.Absorb(child)
@@ -270,16 +276,21 @@ func (k *LabKVS) get(e *core.Exec, req *core.Request) error {
 		req.Err = fmt.Errorf("%w: %q", ErrNoKey, req.Key)
 		return req.Err
 	}
-	out := make([]byte, rec.Size)
+	// Arena-backed result buffer: recycled when the caller Releases the
+	// request. Every byte of out is written by the copy loop below.
+	out := req.CompleteValue(rec.Size)
 	base := req.Clock
+	buf := core.AcquireBuf(k.blockSize)
+	defer core.ReleaseBuf(buf)
 	for i, phys := range rec.Blocks {
 		child := req.Child(core.OpBlockRead)
 		child.Clock = base
 		child.Offset = phys * int64(k.blockSize)
 		child.Size = k.blockSize
-		buf := make([]byte, k.blockSize)
 		child.Data = buf
-		if err := e.Next(child); err != nil {
+		err := e.Next(child)
+		child.Data = nil
+		if err != nil {
 			return err
 		}
 		req.Absorb(child)
@@ -290,7 +301,6 @@ func (k *LabKVS) get(e *core.Exec, req *core.Request) error {
 		}
 		copy(out[lo:hi], buf[:hi-lo])
 	}
-	req.Value = out
 	req.Result = int64(rec.Size)
 	k.gets.inc()
 	return nil

@@ -97,11 +97,14 @@ func (c *Cache) processRead(e *core.Exec, req *core.Request) error {
 		if p, ok := c.pages[req.Offset]; ok {
 			c.order.MoveToFront(p.elem)
 			c.hits++
-			c.mu.Unlock()
 			if req.Data == nil {
 				req.Data = make([]byte, c.pageSize)
 			}
+			// Copy out under the lock: page buffers are recycled through the
+			// arena on eviction/replacement, so p.data must not be read after
+			// the lock is dropped.
 			copy(req.Data, p.data)
+			c.mu.Unlock()
 			req.Result = int64(c.pageSize)
 			return nil
 		}
@@ -145,22 +148,34 @@ func (c *Cache) processFlush(e *core.Exec, req *core.Request) error {
 	if c.policy != "writeback" {
 		return e.Next(req)
 	}
-	// Write back every dirty page downstream.
+	// Write back every dirty page downstream. Page contents are snapshotted
+	// under the lock: a concurrent insert may replace a page's buffer and
+	// recycle the old one through the arena, so p.data cannot be handed to
+	// the downstream write directly.
+	type flushPage struct {
+		off  int64
+		data []byte
+	}
 	c.mu.Lock()
-	dirty := make([]*page, 0)
+	dirty := make([]flushPage, 0)
 	for _, p := range c.pages {
 		if p.dirty {
 			p.dirty = false
-			dirty = append(dirty, p)
+			cp := core.AcquireBuf(len(p.data))
+			copy(cp, p.data)
+			dirty = append(dirty, flushPage{off: p.off, data: cp})
 		}
 	}
 	c.mu.Unlock()
-	for _, p := range dirty {
+	for _, fp := range dirty {
 		child := req.Child(core.OpBlockWrite)
-		child.Offset = p.off
-		child.Size = len(p.data)
-		child.Data = p.data
-		if err := e.SpawnNext(req, child); err != nil {
+		child.Offset = fp.off
+		child.Size = len(fp.data)
+		child.Data = fp.data
+		err := e.SpawnNext(req, child)
+		child.Data = nil
+		core.ReleaseBuf(fp.data)
+		if err != nil {
 			return err
 		}
 	}
@@ -169,21 +184,26 @@ func (c *Cache) processFlush(e *core.Exec, req *core.Request) error {
 
 // insert adds/updates a page and evicts LRU pages beyond capacity. Evicted
 // dirty pages are lost unless flushed first — writeback callers must flush;
-// the functional tests cover this contract.
+// the functional tests cover this contract. Page buffers are drawn from the
+// payload arena (the cache-miss path is the steady-state allocation site)
+// and returned to it on replacement and eviction.
 func (c *Cache) insert(off int64, data []byte, dirty bool) {
-	cp := make([]byte, len(data))
+	cp := core.AcquireBuf(len(data))
 	copy(cp, data)
 	c.mu.Lock()
 	if p, ok := c.pages[off]; ok {
+		old := p.data
 		p.data = cp
 		p.dirty = p.dirty || dirty
 		c.order.MoveToFront(p.elem)
 		c.mu.Unlock()
+		core.ReleaseBuf(old)
 		return
 	}
 	p := &page{off: off, data: cp, dirty: dirty}
 	p.elem = c.order.PushFront(p)
 	c.pages[off] = p
+	var evicted [][]byte
 	for len(c.pages) > c.capacity {
 		tail := c.order.Back()
 		if tail == nil {
@@ -192,8 +212,12 @@ func (c *Cache) insert(off int64, data []byte, dirty bool) {
 		victim := tail.Value.(*page)
 		c.order.Remove(tail)
 		delete(c.pages, victim.off)
+		evicted = append(evicted, victim.data)
 	}
 	c.mu.Unlock()
+	for _, b := range evicted {
+		core.ReleaseBuf(b)
+	}
 }
 
 // Stats returns hit/miss counters and the resident page count.

@@ -59,6 +59,14 @@ func (rt *Runtime) Snapshot() *Snapshot {
 	rt.metrics.Gauge("reqpool.misses").Set(ps.Misses)
 	rt.metrics.Gauge("reqpool.releases").Set(ps.Releases)
 
+	// Payload-arena counters (size-class buffer recycling on the data path).
+	as := core.BufArenaStats()
+	rt.metrics.Gauge("bufarena.gets").Set(as.Gets)
+	rt.metrics.Gauge("bufarena.hits").Set(as.Hits)
+	rt.metrics.Gauge("bufarena.misses").Set(as.Misses)
+	rt.metrics.Gauge("bufarena.releases").Set(as.Releases)
+	rt.metrics.Gauge("bufarena.bytes").Set(as.Bytes)
+
 	snap := &Snapshot{
 		Workers: rt.Stats(),
 		Stages:  rt.PerfCounters(),

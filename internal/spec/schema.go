@@ -115,6 +115,10 @@ type DeviceSpec struct {
 	Name     string
 	Class    device.Class
 	Capacity int64
+	// Stripes is the sparse-store lock-stripe count (rounded up to a power
+	// of two). 0 selects the default (≥ 2× host parallelism); 1 degenerates
+	// to a single global lock (the contention-experiment baseline).
+	Stripes int
 }
 
 // OrchestratorSpec configures the Work Orchestrator.
@@ -217,6 +221,7 @@ func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
 			if gb := dn.Int64("capacity_gb", 0); gb > 0 {
 				ds.Capacity = gb << 30
 			}
+			ds.Stripes = dn.Int("stripes", 0)
 			cfg.Devices = append(cfg.Devices, ds)
 		}
 	}

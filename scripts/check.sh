@@ -22,7 +22,10 @@ go vet ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
-echo "== go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... =="
-go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/...
+echo "== go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/... =="
+go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/...
+
+echo "== bench smoke: go test -bench=. -benchtime=1x -run '^$' ./... =="
+go test -bench=. -benchtime=1x -run '^$' ./...
 
 echo "== check: OK =="
