@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-hotpath bench-contention telemetry
+.PHONY: build test vet race check bench bench-hotpath bench-contention bench-observe telemetry obs-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,17 @@ bench-hotpath:
 # global lock, and records the scalar results in BENCH_contention.json.
 bench-contention:
 	$(GO) run ./cmd/labbench -exp contention -json BENCH_contention.json
+
+# bench-observe measures the cost of the live observability plane (SLO
+# watchdog + flight recorder + HTTP scraping) against the telemetry-only
+# baseline and records the scalar results in BENCH_observe.json.
+bench-observe:
+	$(GO) run ./cmd/labbench -exp observe -json BENCH_observe.json
+
+# obs-smoke boots labstor-runtime with the observability server on an
+# ephemeral port and asserts /metrics and /snapshot serve real payloads.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # telemetry runs the probe workload and dumps the runtime snapshot.
 telemetry:

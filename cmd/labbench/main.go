@@ -111,6 +111,13 @@ var catalog = []experiment{
 		}
 		return experiments.Contention([]int{1, 2, 4, 8}, ops, 4096)
 	}},
+	{"observe", "Observability plane overhead vs telemetry-only baseline", func(quick bool) (*experiments.Result, error) {
+		ops := 2000000
+		if quick {
+			ops = 200000
+		}
+		return experiments.Observe(ops)
+	}},
 }
 
 func main() {

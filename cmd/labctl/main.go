@@ -1,12 +1,6 @@
 // Command labctl inspects and validates LabStor artifacts — the developer
-// face of the paper's mount/modify tooling:
-//
-//	labctl types                  list registered LabMod types
-//	labctl validate <stack.yaml>  parse + instantiate + validate a LabStack
-//	labctl show <stack.yaml>      print the parsed DAG
-//	labctl config <runtime.yaml>  parse + echo a runtime configuration
-//	labctl stats <runtime.yaml>   boot the runtime, run a probe workload,
-//	                              dump the telemetry snapshot (-json for JSON)
+// face of the paper's mount/modify tooling. Run `labctl` with no arguments
+// for the generated subcommand listing.
 //
 // Validation instantiates the stack's modules against placeholder devices,
 // so attribute errors (missing devices, bad modes, unknown types) surface
@@ -26,59 +20,99 @@ import (
 	"labstor/internal/spec"
 )
 
+// command is one labctl subcommand; the usage text is generated from this
+// table so help never drifts from what main dispatches.
+type command struct {
+	name string
+	args string
+	desc string
+	run  func(args []string)
+}
+
+var commands []command
+
+func init() {
+	commands = []command{
+		{"types", "", "list registered LabMod types", cmdTypes},
+		{"validate", "<stack.yaml>", "parse + instantiate + validate a LabStack", cmdValidate},
+		{"show", "<stack.yaml>", "print the parsed DAG", cmdShow},
+		{"config", "<runtime.yaml>", "parse + echo a runtime configuration", cmdConfig},
+		{"stats", "[-json] <runtime.yaml> | -addr <host:port>", "probe a booted runtime (or scrape a live one) and dump the telemetry snapshot", cmdStats},
+		{"top", "[-interval 1s] [-count N] <host:port>", "refreshing terminal view of a live runtime's /snapshot", cmdTop},
+	}
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
-	switch os.Args[1] {
-	case "types":
-		types := core.Types()
-		sort.Strings(types)
-		for _, t := range types {
-			fmt.Println(t)
-		}
-	case "validate", "show":
-		if len(os.Args) < 3 {
-			usage()
-		}
-		raw, err := os.ReadFile(os.Args[2])
-		if err != nil {
-			fatal("%v", err)
-		}
-		ss, err := spec.ParseStack(string(raw))
-		if err != nil {
-			fatal("parse: %v", err)
-		}
-		if os.Args[1] == "show" {
-			show(ss)
+	for _, c := range commands {
+		if c.name == os.Args[1] {
+			c.run(os.Args[2:])
 			return
 		}
-		if err := validate(ss); err != nil {
-			fatal("validate: %v", err)
-		}
-		fmt.Printf("%s: OK (%d LabMods, %s exec)\n", ss.Mount, len(ss.Vertices), ss.Rules.ExecMode)
-	case "config":
-		if len(os.Args) < 3 {
-			usage()
-		}
-		raw, err := os.ReadFile(os.Args[2])
-		if err != nil {
-			fatal("%v", err)
-		}
-		cfg, err := spec.ParseRuntimeConfig(string(raw))
-		if err != nil {
-			fatal("parse: %v", err)
-		}
-		fmt.Printf("workers: %d\nqueue_depth: %d\nbatch: %d\npolicy: %s\nrebalance_ms: %d\n",
-			cfg.Workers, cfg.QueueDepth, cfg.Batch, cfg.Orchestrator.Policy, cfg.Orchestrator.RebalanceMs)
-		for _, d := range cfg.Devices {
-			fmt.Printf("device: %s class=%s capacity=%dMiB stripes=%d\n", d.Name, d.Class, d.Capacity>>20, d.Stripes)
-		}
-	case "stats":
-		stats(os.Args[2:])
-	default:
+	}
+	usage()
+}
+
+func cmdTypes(_ []string) {
+	types := core.Types()
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Println(t)
+	}
+}
+
+func cmdValidate(args []string) {
+	ss := loadStack(args)
+	if err := validate(ss); err != nil {
+		fatal("validate: %v", err)
+	}
+	fmt.Printf("%s: OK (%d LabMods, %s exec)\n", ss.Mount, len(ss.Vertices), ss.Rules.ExecMode)
+}
+
+func cmdShow(args []string) {
+	show(loadStack(args))
+}
+
+func cmdConfig(args []string) {
+	if len(args) < 1 {
 		usage()
 	}
+	raw, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg, err := spec.ParseRuntimeConfig(string(raw))
+	if err != nil {
+		fatal("parse: %v", err)
+	}
+	fmt.Printf("workers: %d\nqueue_depth: %d\nbatch: %d\npolicy: %s\nrebalance_ms: %d\n",
+		cfg.Workers, cfg.QueueDepth, cfg.Batch, cfg.Orchestrator.Policy, cfg.Orchestrator.RebalanceMs)
+	if cfg.Observe.Addr != "" {
+		fmt.Printf("observe: %s pprof=%v\n", cfg.Observe.Addr, cfg.Observe.Pprof)
+	}
+	for _, s := range cfg.SLOs {
+		fmt.Printf("slo: %s p99_us=%g max_err_rate=%g\n", s.Stack, s.P99Us, s.MaxErrRate)
+	}
+	for _, d := range cfg.Devices {
+		fmt.Printf("device: %s class=%s capacity=%dMiB stripes=%d\n", d.Name, d.Class, d.Capacity>>20, d.Stripes)
+	}
+}
+
+func loadStack(args []string) *spec.StackSpec {
+	if len(args) < 1 {
+		usage()
+	}
+	raw, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal("%v", err)
+	}
+	ss, err := spec.ParseStack(string(raw))
+	if err != nil {
+		fatal("parse: %v", err)
+	}
+	return ss
 }
 
 func show(ss *spec.StackSpec) {
@@ -120,17 +154,32 @@ func validate(ss *spec.StackSpec) error {
 	return ss.Stack().Validate(reg)
 }
 
-// stats boots a Runtime from the given configuration, drives the telemetry
-// probe workload through it and prints the resulting snapshot.
-func stats(args []string) {
+// cmdStats boots a Runtime from a configuration and probes it, or — with
+// -addr — scrapes a live runtime's /snapshot endpoint instead.
+func cmdStats(args []string) {
 	asJSON := false
-	var path string
-	for _, a := range args {
-		if a == "-json" || a == "--json" {
+	var path, addr string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; a {
+		case "-json", "--json":
 			asJSON = true
-			continue
+		case "-addr", "--addr":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			addr = args[i]
+		default:
+			path = a
 		}
-		path = a
+	}
+	if addr != "" {
+		snap, err := fetchSnapshot(addr)
+		if err != nil {
+			fatal("stats: %v", err)
+		}
+		printSnapshot(snap, asJSON)
+		return
 	}
 	if path == "" {
 		usage()
@@ -147,19 +196,22 @@ func stats(args []string) {
 	if err != nil {
 		fatal("stats: %v", err)
 	}
-	if asJSON {
-		out, err := snap.JSON()
-		if err != nil {
-			fatal("stats: %v", err)
-		}
-		fmt.Println(string(out))
-		return
-	}
-	fmt.Print(snap.String())
+	printSnapshot(snap, asJSON)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: labctl types | validate <stack.yaml> | show <stack.yaml> | config <runtime.yaml> | stats [-json] <runtime.yaml>")
+	var b strings.Builder
+	b.WriteString("usage: labctl <command> [arguments]\n\ncommands:\n")
+	width := 0
+	for _, c := range commands {
+		if n := len(c.name + " " + c.args); n > width {
+			width = n
+		}
+	}
+	for _, c := range commands {
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, strings.TrimSpace(c.name+" "+c.args), c.desc)
+	}
+	fmt.Fprint(os.Stderr, b.String())
 	os.Exit(2)
 }
 

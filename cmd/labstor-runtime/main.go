@@ -6,6 +6,10 @@
 //
 // With -demo, the runtime additionally executes a short smoke workload
 // against the first mounted stack and reports modeled latencies.
+//
+// The config's `observe:` section (or the -observe flag) starts the live
+// observability server; the bound address is printed as
+// "observe: serving on http://ADDR" so scripts can scrape ephemeral ports.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"labstor/internal/device"
 	"labstor/internal/ipc"
 	_ "labstor/internal/mods/allmods"
+	"labstor/internal/obs"
 	"labstor/internal/runtime"
 	"labstor/internal/spec"
 )
@@ -37,6 +42,7 @@ func main() {
 	var stacks stackList
 	flag.Var(&stacks, "stack", "LabStack spec file (repeatable)")
 	demo := flag.Bool("demo", false, "run a short smoke workload and exit")
+	observeAddr := flag.String("observe", "", "observability server address (overrides the config's observe.addr)")
 	flag.Parse()
 
 	cfg := &spec.RuntimeConfig{Workers: 4, QueueDepth: 1024, UpgradePollMs: 5}
@@ -59,6 +65,16 @@ func main() {
 	}
 	rt.Start()
 	defer rt.Shutdown()
+
+	if *observeAddr != "" {
+		cfg.Observe.Addr = *observeAddr
+	}
+	if srv, bound, err := obs.FromConfig(rt, cfg.Observe.Addr, cfg.Observe.Pprof); err != nil {
+		fatal("observe: %v", err)
+	} else if srv != nil {
+		defer srv.Close()
+		fmt.Printf("observe: serving on http://%s\n", bound)
+	}
 
 	var firstMount string
 	for _, path := range stacks {

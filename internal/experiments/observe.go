@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	gort "runtime"
+	"sort"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	"labstor/internal/obs"
+	"labstor/internal/runtime"
+)
+
+// Steady-state cadence of the live plane, used to convert measured
+// per-operation costs into a CPU share: one /metrics+/snapshot scrape pair
+// per second (a `labctl top` session; production Prometheus is 15x
+// sparser) and the SLO watchdog on its default 100ms period.
+const (
+	obsScrapeHz = 1.0
+	obsEvalHz   = 10.0
+)
+
+// Observe measures the cost of the live observability plane: SLO watchdog
+// armed and evaluating, flight recorder wired, HTTP server up and being
+// scraped (/metrics + /snapshot) while a saturating message workload runs.
+// The claim under test: full observability costs <= 1% of hot-path
+// throughput, because everything it serves renders from registries the
+// runtime already maintains.
+//
+// The acceptance number is a direct cost accounting: every scrape pair is
+// timed client-side while the workload saturates the host (so the handler's
+// stolen CPU is included), the watchdog evaluation is timed over thousands
+// of calls against populated registries, and the two are charged at the
+// steady-state cadence above. An end-to-end wall-time comparison is also
+// run and reported, but on a shared host its leg-to-leg noise (several
+// percent) swamps a sub-1% signal, so it is a sanity bound, not the
+// estimate.
+func Observe(ops int) (*Result, error) {
+	if ops <= 0 {
+		ops = 2000000
+	}
+	const window = 64
+	const trials = 5
+
+	// Bracketed end-to-end trials: baseline, observed, baseline, with the
+	// observed leg compared to the mean of its two brackets so linear host
+	// drift cancels; the median over trials rejects poisoned ones.
+	var base, observed time.Duration
+	var scrapePairs []time.Duration
+	var handlerUS []float64
+	deltas := make([]float64, 0, trials)
+	for t := 0; t < trials; t++ {
+		b1, err := observeLeg(ops, window, false)
+		if err != nil {
+			return nil, err
+		}
+		o, err := observeLeg(ops, window, true)
+		if err != nil {
+			return nil, err
+		}
+		b2, err := observeLeg(ops, window, false)
+		if err != nil {
+			return nil, err
+		}
+		scrapePairs = append(scrapePairs, o.scrapePairs...)
+		handlerUS = append(handlerUS, o.handlerUS)
+		b := minDuration(b1.wall, b2.wall)
+		if t == 0 || b < base {
+			base = b
+		}
+		if t == 0 || o.wall < observed {
+			observed = o.wall
+		}
+		mid := (b1.wall.Seconds() + b2.wall.Seconds()) / 2
+		deltas = append(deltas, 100*(o.wall.Seconds()-mid)/mid)
+	}
+	if len(scrapePairs) == 0 {
+		return nil, fmt.Errorf("observe: no live scrapes completed")
+	}
+
+	evalCost, err := observeEvalCost()
+	if err != nil {
+		return nil, err
+	}
+
+	// Serving cost per scrape pair: the server-side handler medians, which
+	// count the CPU the handlers burn. The client-side wall time of a pair
+	// is also kept, but under a saturating workload it is dominated by
+	// queueing behind the polling worker for the core — latency the worker
+	// spends making forward progress, not stolen throughput.
+	pairCost := time.Duration(median(handlerUS)) * time.Microsecond
+	sort.Slice(scrapePairs, func(i, j int) bool { return scrapePairs[i] < scrapePairs[j] })
+	scrapeWall := scrapePairs[len(scrapePairs)/2]
+
+	overhead := 100 * (pairCost.Seconds()*obsScrapeHz + evalCost.Seconds()*obsEvalHz)
+	e2e := median(deltas)
+
+	baseMops := hotpathMops(ops, base)
+	obsMops := hotpathMops(ops, observed)
+
+	res := &Result{Name: "Live observability plane: overhead vs telemetry-only baseline"}
+	res.Table = newTable("leg", "ops", "wall_ms", "Mops/s")
+	res.Table.AddRowf("telemetry-only", ops, float64(base.Milliseconds()), baseMops)
+	res.Table.AddRowf("observed (SLO+flight+HTTP scrapes)", ops, float64(observed.Milliseconds()), obsMops)
+	res.Notes = fmt.Sprintf(
+		"steady-state observability overhead %.3f%% of one saturated core "+
+			"(handler cost %v per /metrics+/snapshot pair at %.0f/s + SLO eval "+
+			"%v at %.0f/s); target <= 1%%. Client-side pair wall under load %v "+
+			"(mostly queueing behind the polling worker). End-to-end wall delta "+
+			"%+.2f%% (median of %d bracketed trials, noise floor of several %% "+
+			"on a shared host).",
+		overhead, pairCost.Round(time.Microsecond), obsScrapeHz,
+		evalCost, obsEvalHz,
+		scrapeWall.Round(time.Microsecond), e2e, trials)
+
+	res.V("ops", float64(ops))
+	res.V("baseline_mops", baseMops)
+	res.V("observed_mops", obsMops)
+	res.V("overhead_pct", overhead)
+	res.V("scrape_pair_us", float64(pairCost.Microseconds()))
+	res.V("scrape_pair_wall_us", float64(scrapeWall.Microseconds()))
+	res.V("slo_eval_us", evalCost.Seconds()*1e6)
+	res.V("e2e_delta_pct", e2e)
+	res.V("scrapes", float64(2*len(scrapePairs)))
+	res.V("trials", float64(trials))
+	return res, nil
+}
+
+// legStats is what one workload leg reports back: the timed window's wall
+// time, plus (observed legs only) the client-side duration of every live
+// scrape pair that ran inside it and the server-side median handler cost of
+// the two scraped endpoints, read from the runtime's own
+// `obs.handler_us;endpoint=...` histograms before teardown.
+type legStats struct {
+	wall        time.Duration
+	scrapePairs []time.Duration
+	handlerUS   float64 // p50(/metrics) + p50(/snapshot), microseconds
+}
+
+// observeLeg pushes ops messages through a one-vertex dummy stack and
+// returns the wall time. With observed set, the runtime carries SLO targets
+// (watchdog on its default 100ms period), and an observability server is
+// scraped concurrently for the whole run: one scrape pair immediately, then
+// one per second, each pair timed client-side.
+func observeLeg(ops, window int, observed bool) (legStats, error) {
+	var stats legStats
+	opts := runtime.Options{MaxWorkers: 1, QueueDepth: 4096}
+	if observed {
+		opts.SLOs = []runtime.SLOTarget{{Stack: "msg::/obs", P99US: 1e9, MaxErrRate: 0.5}}
+	}
+	rt := runtime.New(opts)
+	rt.AddDevice(device.New("dev0", device.NVMe, 32<<20))
+	stack, err := rt.Mount(core.NewStack("msg::/obs", core.Rules{}, []core.Vertex{
+		{UUID: "obs/dum", Type: "labstor.dummy"},
+	}))
+	if err != nil {
+		return stats, err
+	}
+	rt.Start()
+	defer rt.Shutdown()
+
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	pairs := make(chan time.Duration, 64)
+	if observed {
+		srv := obs.New(rt, obs.Config{Addr: "127.0.0.1:0"})
+		addr, err := srv.Start()
+		if err != nil {
+			return stats, err
+		}
+		defer srv.Close()
+		client := &http.Client{Timeout: 2 * time.Second}
+		scrape := func() bool {
+			ok := true
+			for _, ep := range []string{"/metrics", "/snapshot"} {
+				resp, err := client.Get("http://" + addr + ep)
+				if err != nil {
+					ok = false
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			return ok
+		}
+		// Warm-up scrape before the timed window: TCP + transport setup is
+		// a one-time client cost, not steady-state observability overhead.
+		if !scrape() {
+			return stats, fmt.Errorf("observe: warm-up scrape of %s failed", addr)
+		}
+		go func() {
+			defer close(scraperDone)
+			live := func() {
+				begin := time.Now()
+				if scrape() {
+					pairs <- time.Since(begin)
+				}
+			}
+			live() // at least one live scrape even on short legs
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					live()
+				}
+			}
+		}()
+	} else {
+		close(scraperDone)
+	}
+
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+	reqs := make([]*core.Request, window)
+	// GC fence: start both legs' timed windows from the same collector
+	// state, so the observed leg's setup allocations (HTTP server, warm-up
+	// scrape) can't trip a collection inside the measurement.
+	gort.GC()
+	start := time.Now()
+	for done := 0; done < ops; {
+		n := window
+		if ops-done < n {
+			n = ops - done
+		}
+		for i := 0; i < n; i++ {
+			reqs[i] = core.AcquireRequest(core.OpMessage)
+		}
+		if err := cli.SubmitBatch(stack, reqs[:n]); err != nil {
+			return stats, err
+		}
+		if err := cli.WaitAll(reqs[:n]); err != nil {
+			return stats, err
+		}
+		for i := 0; i < n; i++ {
+			reqs[i].Release()
+		}
+		done += n
+	}
+	stats.wall = time.Since(start)
+	close(stop)
+	<-scraperDone
+	close(pairs)
+	for d := range pairs {
+		stats.scrapePairs = append(stats.scrapePairs, d)
+	}
+	if observed {
+		hists := rt.Metrics().Snapshot().Histograms
+		for _, ep := range []string{"/metrics", "/snapshot"} {
+			stats.handlerUS += hists["obs.handler_us;endpoint="+ep].P50
+		}
+	}
+	return stats, nil
+}
+
+// observeEvalCost times one SLO watchdog evaluation against registries
+// populated by a real workload: boot the observed runtime, push enough
+// requests through to fill the latency histograms, then run the evaluation
+// hot in a loop. The per-call cost is what the 100ms watchdog pays.
+func observeEvalCost() (time.Duration, error) {
+	opts := runtime.Options{
+		MaxWorkers: 1, QueueDepth: 4096,
+		SLOs: []runtime.SLOTarget{{Stack: "msg::/obs", P99US: 1e9, MaxErrRate: 0.5}},
+	}
+	rt := runtime.New(opts)
+	rt.AddDevice(device.New("dev0", device.NVMe, 32<<20))
+	stack, err := rt.Mount(core.NewStack("msg::/obs", core.Rules{}, []core.Vertex{
+		{UUID: "obs/dum", Type: "labstor.dummy"},
+	}))
+	if err != nil {
+		return 0, err
+	}
+	rt.Start()
+	defer rt.Shutdown()
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+	reqs := make([]*core.Request, 64)
+	for round := 0; round < 200; round++ {
+		for i := range reqs {
+			reqs[i] = core.AcquireRequest(core.OpMessage)
+		}
+		if err := cli.SubmitBatch(stack, reqs); err != nil {
+			return 0, err
+		}
+		if err := cli.WaitAll(reqs); err != nil {
+			return 0, err
+		}
+		for i := range reqs {
+			reqs[i].Release()
+		}
+	}
+
+	const evals = 2000
+	rt.EvaluateSLOs() // warm: first eval registers the gauges
+	start := time.Now()
+	for i := 0; i < evals; i++ {
+		rt.EvaluateSLOs()
+	}
+	return time.Since(start) / evals, nil
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// median returns the middle value of xs (mean of the middle two when even).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}

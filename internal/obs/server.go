@@ -1,0 +1,243 @@
+// Package obs is the live observability plane: an opt-in HTTP server that
+// exposes the Runtime's metrics, snapshot tree, trace rings, flight recorder
+// and pprof handlers while the Runtime serves traffic.
+//
+// Endpoints:
+//
+//	/metrics        Prometheus text exposition (hand-rolled, no client deps)
+//	/snapshot       the full runtime.Snapshot as JSON (re-rendered on demand)
+//	/traces         recent sampled traces; ?stack= ?op= ?min_us= ?err=1 ?n=
+//	/events         flight-recorder tail; ?kind=<dotted prefix> ?n=
+//	/slos           SLO watchdog verdicts as JSON
+//	/healthz        liveness + runtime state
+//	/debug/pprof/   net/http/pprof (when enabled)
+//
+// The server is wired from the runtime config's `observe:` section and costs
+// nothing until scraped: every handler renders from the same registries the
+// runtime already maintains.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"labstor/internal/runtime"
+	"labstor/internal/telemetry"
+)
+
+// Config selects the listen address and optional handlers.
+type Config struct {
+	// Addr is the listen address ("host:0" binds an ephemeral port).
+	Addr string
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// Server serves the observability endpoints for one Runtime.
+type Server struct {
+	rt  *runtime.Runtime
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New builds a server (not yet listening) for rt.
+func New(rt *runtime.Runtime, cfg Config) *Server {
+	s := &Server{rt: rt, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.timed("/metrics", s.handleMetrics))
+	mux.HandleFunc("/snapshot", s.timed("/snapshot", s.handleSnapshot))
+	mux.HandleFunc("/traces", s.timed("/traces", s.handleTraces))
+	mux.HandleFunc("/events", s.timed("/events", s.handleEvents))
+	mux.HandleFunc("/slos", s.timed("/slos", s.handleSLOs))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// timed wraps a handler so the plane self-reports its serving cost: each
+// invocation's duration lands in the runtime's own registry as the
+// `obs.handler_us;endpoint=<path>` histogram (scrape counts ride along in
+// the histogram's count). The cost of observing the observer is one clock
+// read and one histogram insert per request.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.rt.Metrics().Histogram("obs.handler_us;endpoint=" + endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		h(w, r)
+		hist.Observe(float64(time.Since(begin).Microseconds()))
+	}
+}
+
+// Start binds the listener and serves in the background. It returns the
+// bound address (useful with :0) and records the fact on the flight
+// recorder so scrapes have a provenance line.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.rt.Events().Recordf(telemetry.EvObserve, 0, "observability server listening on %s", ln.Addr())
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	s.rt.Events().Recordf(telemetry.EvObserve, 0, "observability server closed")
+	return s.srv.Close()
+}
+
+// FromConfig starts a server when the parsed `observe:` section enables one
+// (nil, nil when Addr is empty — observability stays opt-in).
+func FromConfig(rt *runtime.Runtime, addr string, withPprof bool) (*Server, string, error) {
+	if addr == "" {
+		return nil, "", nil
+	}
+	s := New(rt, Config{Addr: addr, Pprof: withPprof})
+	bound, err := s.Start()
+	if err != nil {
+		return nil, "", err
+	}
+	return s, bound, nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "labstor observability plane")
+	for _, ep := range []string{"/metrics", "/snapshot", "/traces", "/events", "/slos", "/healthz"} {
+		fmt.Fprintln(w, "  "+ep)
+	}
+	if s.cfg.Pprof {
+		fmt.Fprintln(w, "  /debug/pprof/")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, s.rt.Metrics().Snapshot())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	raw, err := s.rt.Snapshot().JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
+}
+
+// handleTraces serves the trace rings. ?err=1 selects the error ring (every
+// failed request, unsampled included); otherwise the sampled ring. Remaining
+// filters intersect: ?stack=<mount> ?op=<name> ?min_us=<latency floor>
+// ?n=<last N>.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var traces []telemetry.Trace
+	if q.Get("err") == "1" || q.Get("err") == "true" {
+		traces = s.rt.Tracer().RecentErrors()
+	} else {
+		traces = s.rt.Traces()
+	}
+	stack, op := q.Get("stack"), q.Get("op")
+	minUS, _ := strconv.ParseFloat(q.Get("min_us"), 64)
+	out := make([]telemetry.Trace, 0, len(traces))
+	for _, tr := range traces {
+		if stack != "" && tr.Stack != stack {
+			continue
+		}
+		if op != "" && tr.Op != op {
+			continue
+		}
+		if minUS > 0 && tr.Latency().Micros() < minUS {
+			continue
+		}
+		out = append(out, tr)
+	}
+	out = lastN(out, q.Get("n"))
+	writeJSON(w, out)
+}
+
+// handleEvents serves the flight-recorder tail; ?kind= filters by dotted
+// family prefix (e.g. kind=slo matches slo.breach and slo.recover).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	evs := s.rt.Events().Filter(q.Get("kind"))
+	evs = lastN(evs, q.Get("n"))
+	writeJSON(w, evs)
+}
+
+func (s *Server) handleSLOs(w http.ResponseWriter, _ *http.Request) {
+	slos := s.rt.SLOStatus()
+	if slos == nil {
+		slos = []runtime.SLOStatus{}
+	}
+	writeJSON(w, slos)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	state := "running"
+	switch {
+	case s.rt.Crashed():
+		state = "crashed"
+	case !s.rt.Running():
+		state = "stopped"
+	}
+	if state != "running" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintf(w, "%s\n", state)
+}
+
+// lastN keeps the trailing n elements when the query asks for a bound.
+func lastN[T any](xs []T, nStr string) []T {
+	nStr = strings.TrimSpace(nStr)
+	if nStr == "" {
+		return xs
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n < 0 || n >= len(xs) {
+		return xs
+	}
+	return xs[len(xs)-n:]
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

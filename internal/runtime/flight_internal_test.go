@@ -1,0 +1,58 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"labstor/internal/telemetry"
+)
+
+// TestFlightOnPanicDumpsTail verifies the postmortem path every runtime
+// goroutine defers: a panic records a flight event, dumps the retained event
+// tail to the configured writer, and re-panics.
+func TestFlightOnPanicDumpsTail(t *testing.T) {
+	rt := New(Options{MaxWorkers: 1})
+	var buf strings.Builder
+	rt.SetFlightDumpWriter(&buf)
+	rt.events.Record(telemetry.EvRuntime, "history before the fault", 0, nil)
+
+	repanicked := false
+	func() {
+		defer func() {
+			if recover() != nil {
+				repanicked = true
+			}
+		}()
+		func() {
+			defer rt.flightOnPanic("test goroutine")
+			panic("boom")
+		}()
+	}()
+
+	if !repanicked {
+		t.Fatal("flightOnPanic swallowed the panic instead of re-panicking")
+	}
+	out := buf.String()
+	for _, want := range []string{"panic in test goroutine: boom", "history before the fault", "flight recorder"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("postmortem dump missing %q:\n%s", want, out)
+		}
+	}
+	// The fault itself is the last retained event.
+	evs := rt.events.Recent()
+	if len(evs) == 0 || !strings.Contains(evs[len(evs)-1].Msg, "panic in test goroutine") {
+		t.Fatalf("panic not recorded as a flight event: %+v", evs)
+	}
+}
+
+// TestDumpFlightToExplicitWriter covers the admin-facing dump entry point.
+func TestDumpFlightToExplicitWriter(t *testing.T) {
+	rt := New(Options{MaxWorkers: 1})
+	rt.events.Record(telemetry.EvUpgrade, "module swapped", 7, nil)
+	var buf strings.Builder
+	rt.DumpFlightTo(&buf, "operator requested")
+	out := buf.String()
+	if !strings.Contains(out, "operator requested") || !strings.Contains(out, "module swapped") {
+		t.Fatalf("dump = %q", out)
+	}
+}

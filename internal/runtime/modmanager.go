@@ -8,6 +8,7 @@ import (
 	"labstor/internal/core"
 	"labstor/internal/device"
 	"labstor/internal/ipc"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -212,6 +213,11 @@ func (mm *ModManager) ProcessUpgrades() {
 		batchVT += vt
 		if err == nil {
 			applied++
+			mm.rt.events.Recordf(telemetry.EvUpgrade, mm.rt.vnow(),
+				"module %s upgraded (%s)", up.UUID, up.Mode)
+		} else {
+			mm.rt.events.Recordf(telemetry.EvUpgrade, mm.rt.vnow(),
+				"module %s upgrade failed: %v", up.UUID, err)
 		}
 		up.done <- err
 	}

@@ -1,0 +1,269 @@
+package runtime_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	_ "labstor/internal/mods/allmods"
+	"labstor/internal/runtime"
+	"labstor/internal/telemetry"
+)
+
+// bootObsRuntime boots a runtime with a fast fs stack, a deliberately slow
+// dummy stack, and SLO targets on both. The watchdog period is pushed out to
+// an hour so tests drive evaluation explicitly via EvaluateSLOs.
+func bootObsRuntime(t *testing.T) (*runtime.Runtime, *runtime.Client) {
+	t.Helper()
+	rt := runtime.New(runtime.Options{
+		MaxWorkers:      2,
+		PerfSampleEvery: 1,
+		SLOCheckEvery:   time.Hour,
+		SLOs: []runtime.SLOTarget{
+			{Stack: "dummy::/slow", P99US: 100},
+			{Stack: "fs::/s", MaxErrRate: 0.01},
+		},
+	})
+	rt.AddDevice(device.New("dev0", device.NVMe, 64<<20))
+	if _, err := rt.MountSpec(`
+mount: fs::/s
+mods:
+  - uuid: fs
+    type: labstor.labfs
+    attrs:
+      device: dev0
+      log_mb: 4
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: dev0
+`); err != nil {
+		t.Fatal(err)
+	}
+	// 2ms of modeled compute per request: p99 far beyond the 100us target.
+	if _, err := rt.MountSpec(`
+mount: dummy::/slow
+mods:
+  - uuid: d1
+    type: labstor.dummy
+    attrs:
+      cost_ns: 2000000
+`); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Shutdown)
+	return rt, rt.Connect(ipc.Credentials{PID: 1, UID: 1000, GID: 1000})
+}
+
+func submitOps(t *testing.T, cli *runtime.Client, mount string, op core.Op, path string, n int, create bool) {
+	t.Helper()
+	buf := make([]byte, 512)
+	for i := 0; i < n; i++ {
+		req := core.NewRequest(op)
+		req.Path = path
+		if create {
+			req.Flags = core.FlagCreate
+		}
+		req.Offset = int64(i) * 512
+		req.Size = len(buf)
+		req.Data = buf
+		if err := cli.Submit(mount, req); err != nil && req.Err == nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSLOWatchdogLatencyBreach(t *testing.T) {
+	rt, cli := bootObsRuntime(t)
+	submitOps(t, cli, "dummy::/slow", core.OpWrite, "x", 10, true)
+	rt.EvaluateSLOs()
+
+	var slow runtime.SLOStatus
+	found := false
+	for _, st := range rt.SLOStatus() {
+		if st.Stack == "dummy::/slow" {
+			slow, found = st, true
+		}
+	}
+	if !found {
+		t.Fatal("no SLO status for dummy::/slow")
+	}
+	if slow.OK || slow.Breaches == 0 {
+		t.Fatalf("slow stack not flagged: %+v", slow)
+	}
+	if slow.P99US <= 100 {
+		t.Fatalf("window p99 %.1fus not above the 100us target", slow.P99US)
+	}
+
+	// Verdicts are published as slo.* gauges and flight events.
+	ms := rt.Metrics().Snapshot()
+	if got := ms.Gauges["slo.ok;stack=dummy::/slow"]; got != 0 {
+		t.Fatalf("slo.ok gauge = %d, want 0", got)
+	}
+	if got := ms.Counters["slo.breaches"]; got == 0 {
+		t.Fatal("global slo.breaches counter untouched")
+	}
+	evs := rt.Events().Filter(telemetry.EvSLOBreach)
+	if len(evs) == 0 {
+		t.Fatal("no slo.breach flight event recorded")
+	}
+	if evs[0].Fields["stack"] != "dummy::/slow" {
+		t.Fatalf("breach event fields = %v", evs[0].Fields)
+	}
+}
+
+func TestSLOWatchdogErrBreachAndRecover(t *testing.T) {
+	rt, cli := bootObsRuntime(t)
+	// Reads of a nonexistent file: 100% error rate against a 1% target.
+	submitOps(t, cli, "fs::/s", core.OpRead, "missing", 10, false)
+	rt.EvaluateSLOs()
+
+	status := func() runtime.SLOStatus {
+		for _, st := range rt.SLOStatus() {
+			if st.Stack == "fs::/s" {
+				return st
+			}
+		}
+		t.Fatal("no SLO status for fs::/s")
+		return runtime.SLOStatus{}
+	}
+	if st := status(); st.OK || st.ErrRate < 0.5 {
+		t.Fatalf("error breach not detected: %+v", st)
+	}
+
+	// A clean window recovers the target and records the transition.
+	submitOps(t, cli, "fs::/s", core.OpWrite, "f", 50, true)
+	rt.EvaluateSLOs()
+	if st := status(); !st.OK {
+		t.Fatalf("target did not recover: %+v", st)
+	}
+	if got := rt.Metrics().Snapshot().Gauges["slo.ok;stack=fs::/s"]; got != 1 {
+		t.Fatalf("slo.ok gauge = %d after recovery, want 1", got)
+	}
+	if len(rt.Events().Filter(telemetry.EvSLORecover)) == 0 {
+		t.Fatal("no slo.recover flight event recorded")
+	}
+}
+
+func TestErrorsAlwaysTraced(t *testing.T) {
+	rt := runtime.New(runtime.Options{
+		MaxWorkers:      1,
+		PerfSampleEvery: 1 << 20, // effectively unsampled after request 0
+	})
+	rt.AddDevice(device.New("dev0", device.NVMe, 64<<20))
+	if _, err := rt.MountSpec(`
+mount: fs::/s
+mods:
+  - uuid: fs
+    type: labstor.labfs
+    attrs:
+      device: dev0
+      log_mb: 4
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: dev0
+`); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Shutdown)
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 1000, GID: 1000})
+
+	submitOps(t, cli, "fs::/s", core.OpWrite, "f", 5, true)
+	submitOps(t, cli, "fs::/s", core.OpRead, "missing", 7, false)
+
+	errs := rt.Tracer().RecentErrors()
+	if len(errs) != 7 {
+		t.Fatalf("error ring holds %d traces, want 7 (sampling must not drop errors)", len(errs))
+	}
+	for _, tr := range errs {
+		if tr.Err == "" || tr.Stack != "fs::/s" || tr.Op != "read" {
+			t.Fatalf("error trace = %+v", tr)
+		}
+	}
+	// Each failure is also a flight event.
+	if got := len(rt.Events().Filter(telemetry.EvRequestError)); got != 7 {
+		t.Fatalf("request.error flight events = %d, want 7", got)
+	}
+	// Per-stack accounting counts every request, errors included.
+	ms := rt.Metrics().Snapshot()
+	if got := ms.Counters["stack.requests;stack=fs::/s"]; got != 12 {
+		t.Fatalf("stack.requests = %d, want 12", got)
+	}
+	if got := ms.Counters["stack.errors;stack=fs::/s"]; got != 7 {
+		t.Fatalf("stack.errors = %d, want 7", got)
+	}
+}
+
+func TestFlightRecorderLifecycleEvents(t *testing.T) {
+	rt, cli := bootObsRuntime(t)
+	submitOps(t, cli, "fs::/s", core.OpWrite, "f", 3, true)
+
+	joined := func(kind string) string {
+		var b strings.Builder
+		for _, ev := range rt.Events().Filter(kind) {
+			b.WriteString(ev.Msg)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	if !strings.Contains(joined(telemetry.EvRuntime), "runtime started") {
+		t.Fatal("no runtime-start flight event")
+	}
+	if !strings.Contains(joined(telemetry.EvWorker), "activated") {
+		t.Fatal("no worker-activation flight event")
+	}
+	if !strings.Contains(joined(telemetry.EvRebalance), "registered") {
+		t.Fatal("no queue-registration flight event")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	rt, cli := bootObsRuntime(t)
+	submitOps(t, cli, "fs::/s", core.OpWrite, "f", 20, true)
+	submitOps(t, cli, "fs::/s", core.OpRead, "missing", 2, false)
+	rt.EvaluateSLOs()
+
+	snap := rt.Snapshot()
+	raw, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back runtime.Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip into runtime.Snapshot: %v", err)
+	}
+	if len(back.Workers) != len(snap.Workers) || len(back.Queues) != len(snap.Queues) {
+		t.Fatalf("round trip lost structure: %d/%d workers, %d/%d queues",
+			len(back.Workers), len(snap.Workers), len(back.Queues), len(snap.Queues))
+	}
+	if len(back.SLOs) != len(snap.SLOs) || len(back.SLOs) == 0 {
+		t.Fatalf("round trip lost SLO statuses: %d vs %d", len(back.SLOs), len(snap.SLOs))
+	}
+	if len(back.Events) != len(snap.Events) || len(back.Events) == 0 {
+		t.Fatalf("round trip lost flight events: %d vs %d", len(back.Events), len(snap.Events))
+	}
+	if len(back.ErrorTraces) != 2 {
+		t.Fatalf("round trip holds %d error traces, want 2", len(back.ErrorTraces))
+	}
+	var total int64
+	for _, w := range back.Workers {
+		total += w.Processed
+	}
+	if total != 22 {
+		t.Fatalf("round-tripped processed = %d, want 22", total)
+	}
+	// The text rendering gains the new sections.
+	text := snap.String()
+	for _, want := range []string{"== slos ==", "== flight recorder ==", "== error traces ==", "p999"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("snapshot text missing %q", want)
+		}
+	}
+}

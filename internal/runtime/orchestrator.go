@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -82,7 +83,9 @@ func newOrchestrator(rt *Runtime) *Orchestrator {
 func (o *Orchestrator) AddQueue(qp *QP) {
 	o.mu.Lock()
 	o.queues = append(o.queues, qp)
+	n := len(o.queues)
 	o.mu.Unlock()
+	o.rt.events.Recordf(telemetry.EvRebalance, o.rt.vnow(), "queue %d registered (%d total)", qp.ID, n)
 	o.Rebalance()
 }
 
@@ -96,7 +99,9 @@ func (o *Orchestrator) RemoveQueue(qp *QP) {
 		}
 	}
 	delete(o.perQueue, qp.ID)
+	n := len(o.queues)
 	o.mu.Unlock()
+	o.rt.events.Recordf(telemetry.EvRebalance, o.rt.vnow(), "queue %d retired (%d left)", qp.ID, n)
 	o.Rebalance()
 }
 
@@ -355,13 +360,23 @@ func (o *Orchestrator) rebalanceDynamic(queues []*QP) {
 	for _, q := range cqs {
 		cTot += loads[q.ID]
 	}
-	o.mu.Lock()
-	o.last = RebalanceDecision{
+	dec := RebalanceDecision{
 		LQs: len(lqs), CQs: len(cqs),
 		LQWorkers: nLQ, CQWorkers: nCQ,
 		LQLoad: lTot, CQLoad: cTot,
 	}
+	o.mu.Lock()
+	partitionChanged := dec.LQs != o.last.LQs || dec.CQs != o.last.CQs ||
+		dec.LQWorkers != o.last.LQWorkers || dec.CQWorkers != o.last.CQWorkers
+	o.last = dec
 	o.mu.Unlock()
+	if partitionChanged {
+		// Flight events on partition changes only (loads drift every epoch;
+		// the decision shape is what operators want in the blackbox).
+		o.rt.events.Recordf(telemetry.EvRebalance, o.rt.vnow(),
+			"dynamic partition: %d LQs on %d workers, %d CQs on %d workers",
+			dec.LQs, dec.LQWorkers, dec.CQs, dec.CQWorkers)
+	}
 	if DebugRebalance != nil {
 		DebugRebalance(len(lqs), len(cqs), nLQ, nCQ, lTot, cTot)
 	}

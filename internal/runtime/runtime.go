@@ -25,6 +25,8 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	gort "runtime"
 	"sync"
 	"sync/atomic"
@@ -90,8 +92,16 @@ type Options struct {
 	// traces (0 = telemetry.DefaultTraceRing).
 	TraceRing int
 	// TraceSink, when non-nil, receives every captured trace synchronously
-	// (exporters, test assertions). Sampled requests only.
+	// (exporters, test assertions). Sampled requests, plus every errored
+	// request (errors are captured regardless of the sampling period).
 	TraceSink telemetry.Sink
+	// FlightRing is the flight-recorder event ring capacity
+	// (0 = telemetry.DefaultFlightRing).
+	FlightRing int
+	// SLOs are the per-stack service-level targets the watchdog evaluates.
+	SLOs []SLOTarget
+	// SLOCheckEvery is the watchdog evaluation period (default 100ms).
+	SLOCheckEvery time.Duration
 }
 
 // PerfSamplingDisabled is the PerfSampleEvery value that turns sampling off.
@@ -131,11 +141,14 @@ func (o *Options) fill() {
 	if o.PerfSampleEvery == 0 {
 		o.PerfSampleEvery = 64
 	}
+	if o.SLOCheckEvery <= 0 {
+		o.SLOCheckEvery = 100 * time.Millisecond
+	}
 }
 
 // FromConfig builds Options from a parsed RuntimeConfig.
 func FromConfig(cfg *spec.RuntimeConfig) Options {
-	return Options{
+	opts := Options{
 		MaxWorkers:      cfg.Workers,
 		QueueDepth:      cfg.QueueDepth,
 		Batch:           cfg.Batch,
@@ -147,7 +160,13 @@ func FromConfig(cfg *spec.RuntimeConfig) Options {
 		MaxReposPerUser: cfg.MaxReposPerUser,
 		PerfSampleEvery: cfg.PerfSampleEvery,
 		TraceRing:       cfg.TraceRing,
+		FlightRing:      cfg.Observe.FlightRing,
+		SLOCheckEvery:   time.Duration(cfg.Observe.SLOCheckMs) * time.Millisecond,
 	}
+	for _, s := range cfg.SLOs {
+		opts.SLOs = append(opts.SLOs, SLOTarget{Stack: s.Stack, P99US: s.P99Us, MaxErrRate: s.MaxErrRate})
+	}
+	return opts
 }
 
 // runtime lifecycle states.
@@ -175,9 +194,21 @@ type Runtime struct {
 
 	// metrics is the runtime-wide metrics registry (shared with Env so
 	// LabMods publish op counters into the same tree); tracer keeps the
-	// bounded ring of sampled request traces.
+	// bounded ring of sampled request traces; events is the flight
+	// recorder — the bounded blackbox of structured runtime events.
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
+	events  *telemetry.FlightRecorder
+
+	// slo is the SLO watchdog (nil when no targets are configured);
+	// stackStats maps stack ID → per-stack completion accounting.
+	slo        *sloWatchdog
+	stackStats sync.Map // int -> *stackStats
+
+	// flightDumpW receives the flight-recorder tail on panic or fatal
+	// error (os.Stderr unless redirected by tests).
+	flightDumpMu sync.Mutex
+	flightDumpW  io.Writer
 
 	// Cached metric handles for the sampled-request path.
 	mSampled   *telemetry.Counter
@@ -213,6 +244,11 @@ func New(opts Options) *Runtime {
 	rt.metrics = rt.Env.Metrics
 	rt.tracer = telemetry.NewTracer(opts.TraceRing)
 	rt.tracer.SetSink(opts.TraceSink)
+	rt.events = telemetry.NewFlightRecorder(opts.FlightRing)
+	rt.flightDumpW = os.Stderr
+	if len(opts.SLOs) > 0 {
+		rt.slo = newSLOWatchdog(rt, opts.SLOs)
+	}
 	rt.mSampled = rt.metrics.Counter("runtime.sampled_requests")
 	rt.hLatencyUS = rt.metrics.Histogram("request.latency_us")
 	rt.hWaitUS = rt.metrics.Histogram("request.queue_wait_us")
@@ -232,6 +268,8 @@ func New(opts Options) *Runtime {
 // Start launches the workers and the admin loop.
 func (rt *Runtime) Start() {
 	rt.state.Store(stateRunning)
+	rt.events.Recordf(telemetry.EvRuntime, rt.vnow(), "runtime started: %d/%d workers, policy=%s",
+		rt.opts.InitialWorkers, rt.opts.MaxWorkers, rt.opts.Policy)
 	for i, w := range rt.workers {
 		active := i < rt.opts.InitialWorkers
 		w.setActive(active)
@@ -244,6 +282,10 @@ func (rt *Runtime) Start() {
 		rt.wg.Add(1)
 		go rt.rebalanceLoop()
 	}
+	if rt.slo != nil {
+		rt.wg.Add(1)
+		go rt.sloLoop()
+	}
 }
 
 // Shutdown stops the Runtime cleanly.
@@ -251,6 +293,7 @@ func (rt *Runtime) Shutdown() {
 	if !rt.state.CompareAndSwap(stateRunning, stateStopped) {
 		rt.state.Store(stateStopped)
 	}
+	rt.events.Recordf(telemetry.EvRuntime, rt.vnow(), "runtime shutdown")
 	close(rt.adminStop)
 	for _, w := range rt.workers {
 		w.stop()
@@ -262,6 +305,7 @@ func (rt *Runtime) Shutdown() {
 // queues freeze, clients observing Wait see the Runtime offline.
 func (rt *Runtime) Crash() {
 	rt.state.Store(stateCrashed)
+	rt.events.Recordf(telemetry.EvRuntime, rt.vnow(), "runtime crashed")
 }
 
 // Restart repairs and resumes a crashed Runtime: module state is repaired
@@ -290,9 +334,11 @@ func (rt *Runtime) Restart() error {
 		gort.Gosched()
 	}
 	if err := rt.Registry.RepairAll(); err != nil {
+		rt.events.Recordf(telemetry.EvRuntime, rt.vnow(), "runtime restart failed: %v", err)
 		return err
 	}
 	rt.state.Store(stateRunning)
+	rt.events.Recordf(telemetry.EvRuntime, rt.vnow(), "runtime restarted after crash")
 	return nil
 }
 
@@ -341,10 +387,10 @@ func (rt *Runtime) recordPerf(stages []core.StageTime) {
 	rt.perfMu.Unlock()
 }
 
-// recordTrace turns a sampled request into a telemetry.Trace — spans from
-// the request's stage anatomy, queue wait from the worker's service start —
-// pushes it onto the trace ring and feeds the request-level histograms.
-func (rt *Runtime) recordTrace(workerID, queueID int, stackMount string, req *core.Request, start vtime.Time) {
+// buildTrace assembles a telemetry.Trace from a completed request — spans
+// from the request's stage anatomy, queue wait from the worker's service
+// start.
+func buildTrace(workerID, queueID int, stackMount string, req *core.Request, start vtime.Time) telemetry.Trace {
 	spans := make([]telemetry.Span, len(req.Stages))
 	for i, st := range req.Stages {
 		spans[i] = telemetry.Span{Stage: st.Stage, Cost: st.Cost}
@@ -366,11 +412,36 @@ func (rt *Runtime) recordTrace(workerID, queueID int, stackMount string, req *co
 	if req.Err != nil {
 		tr.Err = req.Err.Error()
 	}
+	return tr
+}
+
+// recordTrace pushes a sampled request's trace onto the trace ring and feeds
+// the request-level histograms. Errored samples also become flight events.
+func (rt *Runtime) recordTrace(workerID, queueID int, stackMount string, req *core.Request, start vtime.Time) {
+	tr := buildTrace(workerID, queueID, stackMount, req, start)
 	rt.mSampled.Inc()
 	rt.hLatencyUS.Observe(tr.Latency().Micros())
 	rt.hWaitUS.Observe(tr.QueueWait.Micros())
 	rt.hCPUUS.Observe(tr.CPU.Micros())
 	rt.tracer.Capture(tr)
+	if tr.Err != "" {
+		rt.recordErrorEvent(tr)
+	}
+}
+
+// recordErrorTrace captures an unsampled errored request into the tracer's
+// bounded error ring (no histogram or sample-counter side effects) and the
+// flight recorder. Errors are never dropped by the sampling period.
+func (rt *Runtime) recordErrorTrace(workerID, queueID int, stackMount string, req *core.Request, start vtime.Time) {
+	tr := buildTrace(workerID, queueID, stackMount, req, start)
+	rt.tracer.CaptureError(tr)
+	rt.recordErrorEvent(tr)
+}
+
+func (rt *Runtime) recordErrorEvent(tr telemetry.Trace) {
+	rt.events.Record(telemetry.EvRequestError,
+		fmt.Sprintf("request %d failed: %s", tr.ReqID, tr.Err), tr.End,
+		map[string]string{"stack": tr.Stack, "op": tr.Op, "err": tr.Err})
 }
 
 // Metrics exposes the runtime-wide metrics registry.
@@ -476,6 +547,7 @@ func (rt *Runtime) ModifyStack(mount string, insertAfter string, v *core.Vertex,
 
 func (rt *Runtime) adminLoop() {
 	defer rt.wg.Done()
+	defer rt.flightOnPanic("admin loop")
 	t := time.NewTicker(rt.opts.UpgradePoll)
 	defer t.Stop()
 	for {
@@ -492,6 +564,7 @@ func (rt *Runtime) adminLoop() {
 
 func (rt *Runtime) rebalanceLoop() {
 	defer rt.wg.Done()
+	defer rt.flightOnPanic("rebalance loop")
 	t := time.NewTicker(rt.opts.RebalanceEvery)
 	defer t.Stop()
 	for {
@@ -503,6 +576,91 @@ func (rt *Runtime) rebalanceLoop() {
 				rt.orch.Rebalance()
 			}
 		}
+	}
+}
+
+// sloLoop is the SLO watchdog driver: one Evaluate pass per period while
+// the Runtime is running.
+func (rt *Runtime) sloLoop() {
+	defer rt.wg.Done()
+	defer rt.flightOnPanic("slo watchdog")
+	t := time.NewTicker(rt.opts.SLOCheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.adminStop:
+			return
+		case <-t.C:
+			if rt.Running() {
+				rt.slo.Evaluate()
+			}
+		}
+	}
+}
+
+// --- flight recorder & postmortems --------------------------------------------
+
+// vnow is the runtime's virtual "now": the furthest worker clock (the global
+// virtual frontier). Flight-recorder events are stamped with it so event
+// history lines up with modeled request latency.
+func (rt *Runtime) vnow() vtime.Time {
+	frontier := vtime.Time(0)
+	for _, w := range rt.workers {
+		if c := w.clock.Now(); c > frontier {
+			frontier = c
+		}
+	}
+	return frontier
+}
+
+// Events exposes the flight recorder.
+func (rt *Runtime) Events() *telemetry.FlightRecorder { return rt.events }
+
+// SLOStatus returns the watchdog's per-target evaluation state (nil when no
+// SLO targets are configured).
+func (rt *Runtime) SLOStatus() []SLOStatus {
+	if rt.slo == nil {
+		return nil
+	}
+	return rt.slo.Status()
+}
+
+// EvaluateSLOs forces one watchdog pass (tests and admin tooling; the SLO
+// loop calls it periodically on its own).
+func (rt *Runtime) EvaluateSLOs() {
+	if rt.slo != nil {
+		rt.slo.Evaluate()
+	}
+}
+
+// SetFlightDumpWriter redirects the panic/fatal flight-recorder dump
+// (os.Stderr by default; tests point it at a buffer).
+func (rt *Runtime) SetFlightDumpWriter(w io.Writer) {
+	rt.flightDumpMu.Lock()
+	rt.flightDumpW = w
+	rt.flightDumpMu.Unlock()
+}
+
+// DumpFlightTo writes the reason and the retained flight-recorder events to
+// w (the configured dump writer when w is nil).
+func (rt *Runtime) DumpFlightTo(w io.Writer, reason string) {
+	if w == nil {
+		rt.flightDumpMu.Lock()
+		w = rt.flightDumpW
+		rt.flightDumpMu.Unlock()
+	}
+	fmt.Fprintf(w, "labstor: %s — dumping flight recorder\n", reason)
+	rt.events.Dump(w)
+}
+
+// flightOnPanic is deferred at the top of every runtime-owned goroutine:
+// on panic it records the fault, dumps the flight-recorder tail to the dump
+// writer (stderr by default) so the postmortem has history, and re-panics.
+func (rt *Runtime) flightOnPanic(where string) {
+	if r := recover(); r != nil {
+		rt.events.Recordf(telemetry.EvRuntime, rt.vnow(), "panic in %s: %v", where, r)
+		rt.DumpFlightTo(nil, fmt.Sprintf("panic in %s: %v", where, r))
+		panic(r)
 	}
 }
 

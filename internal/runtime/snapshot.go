@@ -45,6 +45,14 @@ type Snapshot struct {
 	Upgrades     UpgradeStats              `json:"upgrades"`
 	Metrics      telemetry.MetricsSnapshot `json:"metrics"`
 	Traces       []telemetry.Trace         `json:"traces"`
+	// ErrorTraces is the tracer's bounded error ring: every errored request
+	// regardless of the sampling period, oldest first.
+	ErrorTraces []telemetry.Trace `json:"error_traces,omitempty"`
+	// SLOs is the watchdog's per-target evaluation state (absent when no
+	// targets are configured).
+	SLOs []SLOStatus `json:"slos,omitempty"`
+	// Events is the flight recorder's retained tail, oldest first.
+	Events []telemetry.Event `json:"events,omitempty"`
 }
 
 // Snapshot collects the full telemetry tree from a running (or stopped)
@@ -76,9 +84,12 @@ func (rt *Runtime) Snapshot() *Snapshot {
 			ActiveWorkers: rt.ActiveWorkers(),
 			LastDecision:  rt.orch.LastDecision(),
 		},
-		Upgrades: rt.modMgr.Stats(),
-		Metrics:  rt.metrics.Snapshot(),
-		Traces:   rt.tracer.Recent(),
+		Upgrades:    rt.modMgr.Stats(),
+		Metrics:     rt.metrics.Snapshot(),
+		Traces:      rt.tracer.Recent(),
+		ErrorTraces: rt.tracer.RecentErrors(),
+		SLOs:        rt.SLOStatus(),
+		Events:      rt.events.Recent(),
 	}
 	sort.Slice(snap.Stages, func(i, j int) bool { return snap.Stages[i].Stage < snap.Stages[j].Stage })
 
@@ -171,12 +182,25 @@ func (s *Snapshot) String() string {
 
 	if len(s.Metrics.Histograms) > 0 {
 		b.WriteString("\n== histograms ==\n")
-		ht := &stats.Table{Header: []string{"name", "count", "mean", "p50", "p99", "max"}}
+		ht := &stats.Table{Header: []string{"name", "count", "mean", "min", "p50", "p90", "p99", "p999", "max"}}
 		for _, k := range telemetry.SortedKeys(s.Metrics.Histograms) {
 			h := s.Metrics.Histograms[k]
-			ht.AddRowf(k, h.Count, h.Mean, h.P50, h.P99, h.Max)
+			ht.AddRowf(k, h.Count, h.Mean, h.Min, h.P50, h.P90, h.P99, h.P999, h.Max)
 		}
 		b.WriteString(ht.String())
+	}
+
+	if len(s.SLOs) > 0 {
+		b.WriteString("\n== slos ==\n")
+		lt := &stats.Table{Header: []string{"stack", "ok", "p99_us", "target_p99", "err_rate", "target_err", "breaches", "evals"}}
+		for _, o := range s.SLOs {
+			state := "OK"
+			if !o.OK {
+				state = "BREACH"
+			}
+			lt.AddRowf(o.Stack, state, o.P99US, o.TargetP99US, o.ErrRate, o.TargetErrRate, o.Breaches, o.Evals)
+		}
+		b.WriteString(lt.String())
 	}
 
 	if len(s.Traces) > 0 {
@@ -188,6 +212,32 @@ func (s *Snapshot) String() string {
 		}
 		for _, t := range s.Traces[max(0, n-show):] {
 			b.WriteString(t.String())
+			b.WriteByte('\n')
+		}
+	}
+
+	if len(s.ErrorTraces) > 0 {
+		b.WriteString("\n== error traces ==\n")
+		n := len(s.ErrorTraces)
+		const show = 5
+		if n > show {
+			fmt.Fprintf(&b, "(%d retained, showing last %d)\n", n, show)
+		}
+		for _, t := range s.ErrorTraces[max(0, n-show):] {
+			b.WriteString(t.String())
+			b.WriteByte('\n')
+		}
+	}
+
+	if len(s.Events) > 0 {
+		b.WriteString("\n== flight recorder ==\n")
+		n := len(s.Events)
+		const show = 12
+		if n > show {
+			fmt.Fprintf(&b, "(%d retained, showing last %d)\n", n, show)
+		}
+		for _, ev := range s.Events[max(0, n-show):] {
+			b.WriteString(ev.String())
 			b.WriteByte('\n')
 		}
 	}

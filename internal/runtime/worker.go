@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	gort "runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"labstor/internal/core"
 	"labstor/internal/ipc"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -61,7 +63,15 @@ func newWorker(rt *Runtime, id int) *Worker {
 }
 
 func (w *Worker) setActive(a bool) {
-	w.active.Store(a)
+	if prev := w.active.Swap(a); prev != a {
+		// Activation transitions only, so repeated rebalance decisions that
+		// keep a worker's state do not spam the flight recorder.
+		verb := "activated"
+		if !a {
+			verb = "parked"
+		}
+		w.rt.events.Recordf(telemetry.EvWorker, w.clock.Now(), "worker %d %s", w.id, verb)
+	}
 	if a {
 		select {
 		case w.wake <- struct{}{}:
@@ -107,6 +117,7 @@ func (w *Worker) assigned() []*QP { return *w.queues.Load() }
 // as a lost-wakeup backstop.
 func (w *Worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	defer w.rt.flightOnPanic(fmt.Sprintf("worker %d", w.id))
 	idleRounds := 0
 	for {
 		select {
@@ -283,13 +294,27 @@ func (w *Worker) executeOne(qp *QP, req *Request, seq int64) (cpuUsed vtime.Dura
 	// The worker was busy for the software portion of the walk; device
 	// service overlaps with the worker polling other queues.
 	w.clock.AdvanceTo(begin.Add(cpuUsed))
+
+	// Per-stack completion accounting: full request/error counts plus the
+	// sampled latency histogram, feeding the stack.* metric family and the
+	// SLO watchdog.
+	mount := ""
+	if ok {
+		mount = stack.Mount
+	}
+	ss := w.rt.stackStatsFor(req.StackID, mount)
+	ss.requests.Inc()
+	if req.Err != nil {
+		ss.errors.Inc()
+	}
 	if sampled {
+		ss.lat.Observe(req.Clock.Sub(req.Arrival).Micros())
 		w.rt.recordPerf(req.Stages)
-		mount := ""
-		if ok {
-			mount = stack.Mount
-		}
 		w.rt.recordTrace(w.id, qp.ID, mount, req, begin)
+	} else if req.Err != nil {
+		// Errors are always captured — unsampled failures go to the
+		// tracer's bounded error ring so /traces?err=1 shows real faults.
+		w.rt.recordErrorTrace(w.id, qp.ID, mount, req, begin)
 	}
 	return cpuUsed, ok, sampled
 }

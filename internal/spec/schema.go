@@ -130,6 +130,39 @@ type OrchestratorSpec struct {
 	LossThreshold   float64
 }
 
+// ObserveSpec configures the live observability plane (the HTTP
+// metrics/debug server, flight recorder and SLO watchdog cadence):
+//
+//	observe:
+//	  addr: 127.0.0.1:9120    # empty = server disabled
+//	  pprof: true
+//	  flight_ring: 256
+//	  slo_check_ms: 100
+type ObserveSpec struct {
+	// Addr is the listen address for the metrics/debug HTTP server
+	// ("" disables it; host:0 binds an ephemeral port).
+	Addr string
+	// Pprof exposes net/http/pprof under /debug/pprof/ (default true when
+	// the server is enabled).
+	Pprof bool
+	// FlightRing is the flight-recorder event ring capacity (0 = default).
+	FlightRing int
+	// SLOCheckMs is the SLO watchdog evaluation period (0 = default 100ms).
+	SLOCheckMs int
+}
+
+// SLOSpec is one per-stack service-level objective:
+//
+//	slo:
+//	  - stack: fs::/probe
+//	    p99_us: 500
+//	    max_err_rate: 0.01
+type SLOSpec struct {
+	Stack      string
+	P99Us      float64
+	MaxErrRate float64
+}
+
 // RuntimeConfig is the parsed Runtime configuration YAML:
 //
 //	runtime:
@@ -161,6 +194,8 @@ type RuntimeConfig struct {
 	// TraceRing is the capacity of the recent-trace ring (0 = default).
 	TraceRing    int
 	Orchestrator OrchestratorSpec
+	Observe      ObserveSpec
+	SLOs         []SLOSpec
 	Devices      []DeviceSpec
 	Repos        []string
 }
@@ -181,6 +216,7 @@ func DefaultRuntimeConfig() *RuntimeConfig {
 			LatencyCutoffUs: 100,
 			LossThreshold:   0.1,
 		},
+		Observe: ObserveSpec{Pprof: true},
 	}
 }
 
@@ -205,6 +241,29 @@ func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
 		cfg.Orchestrator.RebalanceMs = or.Int("rebalance_ms", cfg.Orchestrator.RebalanceMs)
 		cfg.Orchestrator.IdleParkUs = or.Int("idle_park_us", cfg.Orchestrator.IdleParkUs)
 		cfg.Orchestrator.LatencyCutoffUs = or.Int("latency_cutoff_us", cfg.Orchestrator.LatencyCutoffUs)
+		cfg.Orchestrator.LossThreshold = or.Float("loss_threshold", cfg.Orchestrator.LossThreshold)
+	}
+	if ob := root.Get("observe"); ob != nil {
+		cfg.Observe.Addr = ob.Str("addr", cfg.Observe.Addr)
+		cfg.Observe.Pprof = ob.Bool("pprof", cfg.Observe.Pprof)
+		cfg.Observe.FlightRing = ob.Int("flight_ring", cfg.Observe.FlightRing)
+		cfg.Observe.SLOCheckMs = ob.Int("slo_check_ms", cfg.Observe.SLOCheckMs)
+	}
+	if slos := root.Get("slo"); slos != nil && slos.IsList() {
+		for i, sn := range slos.List() {
+			ss := SLOSpec{
+				Stack:      sn.Str("stack", ""),
+				P99Us:      sn.Float("p99_us", 0),
+				MaxErrRate: sn.Float("max_err_rate", 0),
+			}
+			if ss.Stack == "" {
+				return nil, fmt.Errorf("spec: slo[%d] is missing 'stack'", i)
+			}
+			if ss.P99Us <= 0 && ss.MaxErrRate <= 0 {
+				return nil, fmt.Errorf("spec: slo[%d] (%s) declares no limits (set p99_us and/or max_err_rate)", i, ss.Stack)
+			}
+			cfg.SLOs = append(cfg.SLOs, ss)
+		}
 	}
 	if devs := root.Get("devices"); devs != nil {
 		for i, dn := range devs.List() {

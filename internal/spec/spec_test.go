@@ -293,6 +293,62 @@ func TestParseRuntimeConfigDefaults(t *testing.T) {
 	}
 }
 
+func TestParseObserveAndSLO(t *testing.T) {
+	cfg, err := ParseRuntimeConfig(`
+runtime:
+  workers: 2
+observe:
+  addr: 127.0.0.1:0
+  pprof: false
+  flight_ring: 128
+  slo_check_ms: 50
+slo:
+  - stack: fs::/probe
+    p99_us: 500
+    max_err_rate: 0.01
+  - stack: kv::/b
+    max_err_rate: 0.05
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := cfg.Observe
+	if ob.Addr != "127.0.0.1:0" || ob.Pprof || ob.FlightRing != 128 || ob.SLOCheckMs != 50 {
+		t.Fatalf("observe %+v", ob)
+	}
+	if len(cfg.SLOs) != 2 {
+		t.Fatalf("slos %+v", cfg.SLOs)
+	}
+	if s := cfg.SLOs[0]; s.Stack != "fs::/probe" || s.P99Us != 500 || s.MaxErrRate != 0.01 {
+		t.Fatalf("slo 0 %+v", s)
+	}
+	if s := cfg.SLOs[1]; s.Stack != "kv::/b" || s.P99Us != 0 || s.MaxErrRate != 0.05 {
+		t.Fatalf("slo 1 %+v", s)
+	}
+}
+
+func TestParseObserveDefaults(t *testing.T) {
+	cfg, err := ParseRuntimeConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Observe.Addr != "" || !cfg.Observe.Pprof {
+		t.Fatalf("observe defaults %+v", cfg.Observe)
+	}
+	if len(cfg.SLOs) != 0 {
+		t.Fatalf("slo defaults %+v", cfg.SLOs)
+	}
+}
+
+func TestParseSLOErrors(t *testing.T) {
+	if _, err := ParseRuntimeConfig("slo:\n  - p99_us: 10\n"); err == nil {
+		t.Fatal("slo entry without a stack accepted")
+	}
+	if _, err := ParseRuntimeConfig("slo:\n  - stack: fs::/a\n"); err == nil {
+		t.Fatal("slo entry without limits accepted")
+	}
+}
+
 func TestParseClass(t *testing.T) {
 	for in, want := range map[string]device.Class{
 		"hdd": device.HDD, "ssd": device.SATASSD, "nvme": device.NVMe,

@@ -98,6 +98,19 @@ func (n *Node) Int64(key string, def int64) int64 {
 	return v
 }
 
+// Float returns the float at key, or def.
+func (n *Node) Float(key string, def float64) float64 {
+	c := n.Get(key)
+	if c == nil || !c.isScalar {
+		return def
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(c.scalar), 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
 // Bool returns the boolean at key, or def.
 func (n *Node) Bool(key string, def bool) bool {
 	c := n.Get(key)

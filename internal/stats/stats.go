@@ -154,6 +154,7 @@ type Histogram struct {
 	buckets [64]int64
 	count   int64
 	sum     float64
+	min     float64
 	max     float64
 }
 
@@ -173,6 +174,9 @@ func (h *Histogram) Observe(x float64) {
 	h.buckets[b]++
 	h.count++
 	h.sum += x
+	if h.count == 1 || x < h.min {
+		h.min = x
+	}
 	if x > h.max {
 		h.max = x
 	}
@@ -192,6 +196,9 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Min returns the smallest observation (0 if empty).
+func (h *Histogram) Min() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.min }
+
 // Max returns the largest observation (0 if empty).
 func (h *Histogram) Max() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.max }
 
@@ -199,20 +206,72 @@ func (h *Histogram) Max() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.m
 // uniform distribution within each bucket, clamped to the exact maximum
 // observation (so q=1 reports the true max, not the bucket's upper bound).
 func (h *Histogram) Quantile(q float64) float64 {
+	return h.State().Quantile(q)
+}
+
+// HistogramState is a copyable snapshot of a Histogram's raw accumulator
+// state. Two snapshots of the same histogram can be subtracted to obtain the
+// distribution observed *between* them (SLO watchdogs evaluate quantiles
+// over such deltas, so a long-running runtime reacts to recent latency
+// rather than the lifetime distribution).
+type HistogramState struct {
+	Buckets [64]int64
+	Count   int64
+	Sum     float64
+	Min     float64
+	Max     float64
+}
+
+// State returns the histogram's current accumulator snapshot.
+func (h *Histogram) State() HistogramState {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.count == 0 {
+	return HistogramState{Buckets: h.buckets, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// Delta returns the distribution observed since prev (bucket-wise
+// subtraction). Min/Max carry the current snapshot's values: exact window
+// extremes are not recoverable from counters, so quantiles over a delta are
+// clamped to the lifetime maximum — an upper bound on the window's.
+func (s HistogramState) Delta(prev HistogramState) HistogramState {
+	d := s
+	for i := range d.Buckets {
+		d.Buckets[i] -= prev.Buckets[i]
+		if d.Buckets[i] < 0 {
+			d.Buckets[i] = 0
+		}
+	}
+	d.Count = s.Count - prev.Count
+	if d.Count < 0 {
+		d.Count = 0
+	}
+	d.Sum = s.Sum - prev.Sum
+	return d
+}
+
+// Mean returns the mean of the snapshot (0 if empty).
+func (s HistogramState) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile of the snapshot, uniform within each
+// bucket and clamped to the recorded maximum.
+func (s HistogramState) Quantile(q float64) float64 {
+	if s.Count == 0 {
 		return 0
 	}
 	clamp := func(v float64) float64 {
-		if v > h.max {
-			return h.max
+		if v > s.Max {
+			return s.Max
 		}
 		return v
 	}
-	target := q * float64(h.count)
+	target := q * float64(s.Count)
 	var cum float64
-	for b, c := range h.buckets {
+	for b, c := range s.Buckets {
 		if c == 0 {
 			continue
 		}
@@ -224,7 +283,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum = next
 	}
-	return h.max
+	return s.Max
 }
 
 func bucketBounds(b int) (lo, hi float64) {

@@ -175,6 +175,51 @@ func TestHistogramQuantileClampedToMax(t *testing.T) {
 	}
 }
 
+func TestHistogramMinExact(t *testing.T) {
+	var h Histogram
+	if h.Min() != 0 {
+		t.Fatalf("empty min %v", h.Min())
+	}
+	for _, x := range []float64{50, 3, 100} {
+		h.Observe(x)
+	}
+	if h.Min() != 3 {
+		t.Fatalf("min %v, want exact 3", h.Min())
+	}
+}
+
+func TestHistogramStateDelta(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(10) // bucket [8,16)
+	}
+	before := h.State()
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // bucket [512,1024)
+	}
+	// The lifetime median straddles the two populations, but the delta
+	// since `before` contains only the slow ones.
+	d := h.State().Delta(before)
+	if d.Count != 100 {
+		t.Fatalf("delta count %d", d.Count)
+	}
+	if q := d.Quantile(0.5); q < 512 || q > 1000 {
+		t.Fatalf("delta median %v, want within [512,1000]", q)
+	}
+	if m := d.Mean(); m != 1000 {
+		t.Fatalf("delta mean %v", m)
+	}
+	// Delta of identical snapshots is empty.
+	s := h.State()
+	if e := s.Delta(s); e.Count != 0 || e.Quantile(0.99) != 0 {
+		t.Fatalf("self-delta not empty: %+v", e)
+	}
+	// State quantiles agree with the histogram's own.
+	if h.State().Quantile(0.99) != h.Quantile(0.99) {
+		t.Fatal("State().Quantile disagrees with Quantile")
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	var h Histogram
 	h.Observe(-5)

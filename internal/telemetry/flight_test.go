@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"labstor/internal/vtime"
+)
+
+func TestFlightRecorderRingBounded(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	if fr.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", fr.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		fr.Record(EvWorker, "tick", vtime.Time(i), nil)
+	}
+	if fr.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", fr.Recorded())
+	}
+	recent := fr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("retained %d events, want 4", len(recent))
+	}
+	// Oldest-first and monotonically sequenced: survivors are seq 7..10.
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if recent[i].Seq != want {
+			t.Fatalf("recent[%d].Seq = %d, want %d", i, recent[i].Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialAndDefaults(t *testing.T) {
+	fr := NewFlightRecorder(0)
+	if fr.Cap() != DefaultFlightRing {
+		t.Fatalf("default cap %d, want %d", fr.Cap(), DefaultFlightRing)
+	}
+	fr.Recordf(EvRebalance, 5, "moved %d queues", 3)
+	fr.Record(EvSLOBreach, "p99 over", 9, map[string]string{"stack": "fs::/a"})
+	recent := fr.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("retained %d, want 2", len(recent))
+	}
+	if recent[0].Msg != "moved 3 queues" || recent[0].VT != 5 {
+		t.Fatalf("recordf event = %+v", recent[0])
+	}
+	s := recent[1].String()
+	for _, want := range []string{EvSLOBreach, "p99 over", "stack=fs::/a"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Event.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestFlightRecorderFilter(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	fr.Record(EvSLOBreach, "b", 1, nil)
+	fr.Record(EvSLORecover, "r", 2, nil)
+	fr.Record(EvUpgrade, "u", 3, nil)
+	if got := len(fr.Filter("slo")); got != 2 {
+		t.Fatalf("Filter(slo) = %d events, want 2", got)
+	}
+	if got := len(fr.Filter("slo.breach")); got != 1 {
+		t.Fatalf("Filter(slo.breach) = %d events, want 1", got)
+	}
+	if got := len(fr.Filter("")); got != 3 {
+		t.Fatalf("Filter(\"\") = %d events, want 3", got)
+	}
+	// Prefixes match dotted families, not raw substrings.
+	if got := len(fr.Filter("sl")); got != 0 {
+		t.Fatalf("Filter(sl) = %d events, want 0", got)
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(EvRuntime, "started", 0, nil)
+	fr.Record(EvRequestError, "boom", 7, map[string]string{"op": "read"})
+	var b strings.Builder
+	fr.Dump(&b)
+	out := b.String()
+	for _, want := range []string{"flight recorder", "started", "boom", "op=read"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Dump output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fr.Record(EvWorker, "tick", vtime.Time(i), nil)
+				if i%100 == 0 {
+					_ = fr.Recent()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fr.Recorded() != 4000 {
+		t.Fatalf("Recorded = %d, want 4000", fr.Recorded())
+	}
+	if len(fr.Recent()) != 32 {
+		t.Fatalf("retained %d, want 32", len(fr.Recent()))
+	}
+}
+
+func TestTracerErrorRing(t *testing.T) {
+	tr := NewTracer(4)
+	// Sampled captures with errors are mirrored into the error ring.
+	errTrace := mkTrace(1)
+	errTrace.Err = "EIO"
+	tr.Capture(errTrace)
+	tr.Capture(mkTrace(2)) // clean: main ring only
+	// Unsampled errors land in the error ring without touching the main ring.
+	only := mkTrace(3)
+	only.Err = "ENOSPC"
+	tr.CaptureError(only)
+
+	if got := tr.ErrorsCaptured(); got != 2 {
+		t.Fatalf("ErrorsCaptured = %d, want 2", got)
+	}
+	errs := tr.RecentErrors()
+	if len(errs) != 2 || errs[0].ReqID != 1 || errs[1].ReqID != 3 {
+		t.Fatalf("RecentErrors = %+v", errs)
+	}
+	if got := len(tr.Recent()); got != 2 {
+		t.Fatalf("main ring has %d traces, want 2 (CaptureError leaked in)", got)
+	}
+}
+
+func TestTracerErrorRingBoundedAndSink(t *testing.T) {
+	tr := NewTracer(2)
+	var sunk int
+	tr.SetSink(SinkFunc(func(Trace) { sunk++ }))
+	for i := uint64(1); i <= uint64(DefaultErrorRing)+5; i++ {
+		tc := mkTrace(i)
+		tc.Err = "EIO"
+		tr.CaptureError(tc)
+	}
+	errs := tr.RecentErrors()
+	if len(errs) != DefaultErrorRing {
+		t.Fatalf("error ring retained %d, want %d", len(errs), DefaultErrorRing)
+	}
+	if errs[len(errs)-1].ReqID != uint64(DefaultErrorRing)+5 {
+		t.Fatalf("last error ReqID = %d", errs[len(errs)-1].ReqID)
+	}
+	if sunk != DefaultErrorRing+5 {
+		t.Fatalf("sink saw %d error traces", sunk)
+	}
+}

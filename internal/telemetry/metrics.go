@@ -94,12 +94,17 @@ func (r *Registry) Histogram(name string) *stats.Histogram {
 // Observe records v into the named histogram.
 func (r *Registry) Observe(name string, v float64) { r.Histogram(name).Observe(v) }
 
-// HistogramSnapshot is a histogram's summarized state.
+// HistogramSnapshot is a histogram's summarized state: count, mean, the
+// exact min/max, and the quantile ladder SLO evaluation and the Prometheus
+// exposition both consume (so neither re-derives quantiles from buckets).
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
 	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 	Max   float64 `json:"max"`
 }
 
@@ -130,15 +135,19 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	})
 	r.hists.Range(func(k, v any) bool {
 		h := v.(*stats.Histogram)
-		if h.Count() == 0 {
+		st := h.State()
+		if st.Count == 0 {
 			return true
 		}
 		snap.Histograms[k.(string)] = HistogramSnapshot{
-			Count: h.Count(),
-			Mean:  h.Mean(),
-			P50:   h.Quantile(0.5),
-			P99:   h.Quantile(0.99),
-			Max:   h.Max(),
+			Count: st.Count,
+			Mean:  st.Mean(),
+			Min:   st.Min,
+			P50:   st.Quantile(0.5),
+			P90:   st.Quantile(0.9),
+			P99:   st.Quantile(0.99),
+			P999:  st.Quantile(0.999),
+			Max:   st.Max,
 		}
 		return true
 	})

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (the /metrics endpoint), hand-rolled against
+// the text format spec — no client library dependency.
+//
+// Registry names map to Prometheus families as `labstor_<sanitized name>`.
+// A registry name may carry labels after a ';' separator:
+//
+//	"slo.ok;stack=fs::/probe"  →  labstor_slo_ok{stack="fs::/probe"}
+//
+// so per-stack gauge families render as one family with a stack label
+// instead of N mangled names. Histograms render as summaries: quantile
+// series from the snapshot's precomputed ladder plus _sum and _count.
+
+// promName sanitizes a registry name into a legal Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("labstor_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelValue escapes a label value per the exposition format.
+func promLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// splitSeries splits a registry name into its family part and rendered
+// label pairs ("k1=\"v1\",k2=\"v2\"", possibly empty).
+func splitSeries(name string) (family, labels string) {
+	base, rest, ok := strings.Cut(name, ";")
+	if !ok {
+		return base, ""
+	}
+	var pairs []string
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			continue
+		}
+		pairs = append(pairs, fmt.Sprintf("%s=\"%s\"", promName(k)[len("labstor_"):], promLabelValue(v)))
+	}
+	sort.Strings(pairs)
+	return base, strings.Join(pairs, ",")
+}
+
+// promValue formats a float without exponent noise for integral values.
+func promValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type promSeries struct {
+	labels string
+	render func(w io.Writer, fam, labels string)
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format, families sorted by name and series sorted by labels
+// within each family (stable output for golden tests and diffable scrapes).
+func WritePrometheus(w io.Writer, snap MetricsSnapshot) {
+	type family struct {
+		typ    string
+		series []promSeries
+	}
+	fams := make(map[string]*family)
+	add := func(name, typ string, render func(w io.Writer, fam, labels string)) {
+		base, labels := splitSeries(name)
+		fam := promName(base)
+		f, ok := fams[fam]
+		if !ok {
+			f = &family{typ: typ}
+			fams[fam] = f
+		}
+		f.series = append(f.series, promSeries{labels: labels, render: render})
+	}
+
+	for name, v := range snap.Counters {
+		v := v
+		add(name, "counter", func(w io.Writer, fam, labels string) {
+			fmt.Fprintf(w, "%s%s %d\n", fam, braced(labels), v)
+		})
+	}
+	for name, v := range snap.Gauges {
+		v := v
+		add(name, "gauge", func(w io.Writer, fam, labels string) {
+			fmt.Fprintf(w, "%s%s %d\n", fam, braced(labels), v)
+		})
+	}
+	for name, h := range snap.Histograms {
+		h := h
+		add(name, "summary", func(w io.Writer, fam, labels string) {
+			for _, q := range []struct {
+				q string
+				v float64
+			}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}, {"0.999", h.P999}, {"1", h.Max}} {
+				ql := fmt.Sprintf("quantile=%q", q.q)
+				if labels != "" {
+					ql = labels + "," + ql
+				}
+				fmt.Fprintf(w, "%s{%s} %s\n", fam, ql, promValue(q.v))
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", fam, braced(labels), promValue(h.Mean*float64(h.Count)))
+			fmt.Fprintf(w, "%s_count%s %d\n", fam, braced(labels), h.Count)
+		})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		f := fams[fam]
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam, f.typ)
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		for _, s := range f.series {
+			s.render(w, fam, s.labels)
+		}
+	}
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

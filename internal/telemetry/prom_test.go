@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixedSnapshot builds a deterministic snapshot exercising the renderer's
+// corners: name sanitization, label splitting, label-value escaping, and
+// the summary quantile ladder.
+func fixedSnapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Counters: map[string]int64{
+			"client.submitted":              120,
+			"slo.breaches":                  3,
+			"stack.errors;stack=fs::/a":     2,
+			"stack.errors;stack=kv::/b":     0,
+			"weird-name.$x;path=a\"b\\c\nd": 1,
+		},
+		Gauges: map[string]int64{
+			"orchestrator.active_workers": 4,
+			"slo.ok;stack=fs::/a":         1,
+		},
+		Histograms: map[string]HistogramSnapshot{
+			"request.latency_us": {Count: 100, Mean: 12.5, Min: 1, P50: 10, P90: 20, P99: 30, P999: 40, Max: 50},
+			"stack.latency_us;stack=fs::/a": {Count: 4, Mean: 2, Min: 1, P50: 2, P90: 3, P99: 3, P999: 3, Max: 3},
+		},
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, fixedSnapshot())
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden (regenerate with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// Exposition-format grammar: every non-comment line is `name{labels} value`
+// with legal metric names, label names and escaped label values.
+var (
+	promMetricLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? (-?[0-9.eE+-]+|NaN|\+Inf|-Inf)$`)
+	promTypeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+)
+
+// validatePrometheus parses an exposition body, returning the families
+// declared and failing t on any malformed line. Shared with the obs server
+// test via the exported-for-test helper pattern (the server test re-declares
+// the same grammar; both must accept real scrapes).
+func validatePrometheus(t *testing.T, body string) map[string]string {
+	t.Helper()
+	families := map[string]string{}
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line inside exposition", i+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			m := promTypeLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed comment/TYPE line: %q", i+1, line)
+			}
+			if _, dup := families[m[1]]; dup {
+				t.Fatalf("line %d: duplicate TYPE declaration for %s", i+1, m[1])
+			}
+			families[m[1]] = m[2]
+			continue
+		}
+		m := promMetricLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample line: %q", i+1, line)
+		}
+		name := m[1]
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if _, ok := families[name]; !ok {
+			if _, ok := families[base]; !ok {
+				t.Fatalf("line %d: sample %q precedes or lacks its TYPE declaration", i+1, name)
+			}
+		}
+	}
+	return families
+}
+
+func TestPrometheusValidExposition(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, fixedSnapshot())
+	families := validatePrometheus(t, b.String())
+
+	for fam, typ := range map[string]string{
+		"labstor_client_submitted":            "counter",
+		"labstor_slo_breaches":                "counter",
+		"labstor_stack_errors":                "counter",
+		"labstor_weird_name__x":               "counter",
+		"labstor_orchestrator_active_workers": "gauge",
+		"labstor_slo_ok":                      "gauge",
+		"labstor_request_latency_us":          "summary",
+		"labstor_stack_latency_us":            "summary",
+	} {
+		if families[fam] != typ {
+			t.Fatalf("family %s = %q, want %q (families: %v)", fam, families[fam], typ, families)
+		}
+	}
+}
+
+func TestPrometheusLabelsAndEscaping(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, fixedSnapshot())
+	out := b.String()
+
+	for _, want := range []string{
+		`labstor_stack_errors{stack="fs::/a"} 2`,
+		`labstor_slo_ok{stack="fs::/a"} 1`,
+		`labstor_stack_latency_us{stack="fs::/a",quantile="0.5"} 2`,
+		`labstor_stack_latency_us_count{stack="fs::/a"} 4`,
+		`labstor_weird_name__x{path="a\"b\\c\nd"} 1`,
+		`labstor_request_latency_us{quantile="0.999"} 40`,
+		"labstor_request_latency_us_sum 1250\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusEmptySnapshot(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, MetricsSnapshot{})
+	if b.Len() != 0 {
+		t.Fatalf("empty snapshot rendered %q", b.String())
+	}
+}

@@ -72,27 +72,42 @@ func (f SinkFunc) Emit(t Trace) { f(t) }
 // DefaultTraceRing is the trace ring capacity when none is configured.
 const DefaultTraceRing = 256
 
+// DefaultErrorRing is the error-trace ring capacity when none is configured.
+const DefaultErrorRing = 64
+
 // Tracer keeps a bounded ring of the most recent traces and forwards each
-// capture to an optional sink.
+// capture to an optional sink. Errored traces are additionally retained in
+// a separate bounded ring, independent of sampling: failures are the traces
+// a debugger needs most, and with 1-in-N sampling they would otherwise
+// almost always be lost.
 type Tracer struct {
 	mu   sync.Mutex
 	ring []Trace
 	next int
 	full bool
 
-	captured atomic.Int64
+	errMu   sync.Mutex
+	errRing []Trace
+	errNext int
+	errFull bool
+
+	captured  atomic.Int64
+	errCaught atomic.Int64
 
 	sinkMu sync.RWMutex
 	sink   Sink
 }
 
 // NewTracer returns a tracer holding up to capacity traces (DefaultTraceRing
-// if capacity <= 0).
+// if capacity <= 0) plus an error ring of DefaultErrorRing traces.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceRing
 	}
-	return &Tracer{ring: make([]Trace, capacity)}
+	return &Tracer{
+		ring:    make([]Trace, capacity),
+		errRing: make([]Trace, DefaultErrorRing),
+	}
 }
 
 // SetSink installs (or, with nil, removes) the trace sink.
@@ -103,7 +118,7 @@ func (tr *Tracer) SetSink(s Sink) {
 }
 
 // Capture appends a trace to the ring, evicting the oldest when full, and
-// forwards it to the sink.
+// forwards it to the sink. Errored traces are mirrored into the error ring.
 func (tr *Tracer) Capture(t Trace) {
 	tr.mu.Lock()
 	tr.ring[tr.next] = t
@@ -114,6 +129,9 @@ func (tr *Tracer) Capture(t Trace) {
 	}
 	tr.mu.Unlock()
 	tr.captured.Add(1)
+	if t.Err != "" {
+		tr.pushError(t)
+	}
 
 	tr.sinkMu.RLock()
 	s := tr.sink
@@ -123,8 +141,53 @@ func (tr *Tracer) Capture(t Trace) {
 	}
 }
 
+// CaptureError retains a trace in the error ring only (and forwards it to
+// the sink). Workers call this for errored requests that were *not* picked
+// by the 1-in-N sampler, so every failure is observable regardless of the
+// sampling period.
+func (tr *Tracer) CaptureError(t Trace) {
+	tr.pushError(t)
+	tr.sinkMu.RLock()
+	s := tr.sink
+	tr.sinkMu.RUnlock()
+	if s != nil {
+		s.Emit(t)
+	}
+}
+
+func (tr *Tracer) pushError(t Trace) {
+	tr.errMu.Lock()
+	tr.errRing[tr.errNext] = t
+	tr.errNext++
+	if tr.errNext == len(tr.errRing) {
+		tr.errNext = 0
+		tr.errFull = true
+	}
+	tr.errMu.Unlock()
+	tr.errCaught.Add(1)
+}
+
 // Captured returns the total number of traces captured (including evicted).
 func (tr *Tracer) Captured() int64 { return tr.captured.Load() }
+
+// ErrorsCaptured returns the total number of errored traces retained in the
+// error ring (including evicted).
+func (tr *Tracer) ErrorsCaptured() int64 { return tr.errCaught.Load() }
+
+// RecentErrors returns the retained errored traces, oldest first.
+func (tr *Tracer) RecentErrors() []Trace {
+	tr.errMu.Lock()
+	defer tr.errMu.Unlock()
+	if !tr.errFull {
+		out := make([]Trace, tr.errNext)
+		copy(out, tr.errRing[:tr.errNext])
+		return out
+	}
+	out := make([]Trace, 0, len(tr.errRing))
+	out = append(out, tr.errRing[tr.errNext:]...)
+	out = append(out, tr.errRing[:tr.errNext]...)
+	return out
+}
 
 // Recent returns the retained traces, oldest first.
 func (tr *Tracer) Recent() []Trace {

@@ -1,0 +1,70 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end smoke test of the live observability plane.
+#
+# Boots labstor-runtime with the observability server on an ephemeral port
+# (observe.addr 127.0.0.1:0), parses the bound address from the runtime's
+# "observe: serving on http://ADDR" line, and asserts that /metrics and
+# /snapshot answer HTTP 200 with non-empty, well-formed payloads.
+# Run from the repository root (or via `make obs-smoke` / `make check`).
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+logfile="$workdir/runtime.log"
+binary="$workdir/labstor-runtime"
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$binary" ./cmd/labstor-runtime
+
+"$binary" -config configs/runtime.yaml -stack configs/labfs-nvme.yaml \
+    -observe 127.0.0.1:0 >"$logfile" 2>&1 &
+pid=$!
+
+# Wait for the server to announce its bound address (ephemeral port).
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|^observe: serving on http://||p' "$logfile")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "obs_smoke: runtime exited early:" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "obs_smoke: no 'observe: serving on' line after 5s:" >&2
+    cat "$logfile" >&2
+    exit 1
+fi
+echo "obs_smoke: runtime serving observability on $addr"
+
+fetch() {
+    # fetch <path> <must-contain>: HTTP 200 + non-empty + marker present.
+    body=$(curl -fsS --max-time 5 "http://$addr$1")
+    if [ -z "$body" ]; then
+        echo "obs_smoke: $1 returned an empty body" >&2
+        exit 1
+    fi
+    case "$body" in
+    *"$2"*) ;;
+    *)
+        echo "obs_smoke: $1 response lacks marker '$2'" >&2
+        exit 1
+        ;;
+    esac
+    echo "obs_smoke: GET $1 OK ($(printf %s "$body" | wc -c) bytes)"
+}
+
+fetch /metrics "# TYPE"
+fetch /snapshot '"workers"'
+fetch /healthz "running"
+
+echo "obs_smoke: OK"
