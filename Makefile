@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-hotpath bench-contention bench-observe telemetry obs-smoke
+.PHONY: build test vet race check bench bench-hotpath bench-contention bench-observe bench-attribution bench-gate telemetry obs-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,17 @@ bench-contention:
 # baseline and records the scalar results in BENCH_observe.json.
 bench-observe:
 	$(GO) run ./cmd/labbench -exp observe -json BENCH_observe.json
+
+# bench-attribution measures the cost of always-on latency attribution
+# (per-request fold + tail-retention decision) against the profiling-off
+# baseline and records the scalar results in BENCH_attribution.json.
+bench-attribution:
+	$(GO) run ./cmd/labbench -exp attribution -json BENCH_attribution.json
+
+# bench-gate reruns the hotpath bench and warns (never fails) when batched
+# throughput regressed >10% vs the committed BENCH_hotpath.json.
+bench-gate:
+	sh scripts/bench_gate.sh
 
 # obs-smoke boots labstor-runtime with the observability server on an
 # ephemeral port and asserts /metrics and /snapshot serve real payloads.

@@ -118,6 +118,13 @@ var catalog = []experiment{
 		}
 		return experiments.Observe(ops)
 	}},
+	{"attribution", "Always-on latency attribution overhead vs profiling-off baseline", func(quick bool) (*experiments.Result, error) {
+		ops := 2000000
+		if quick {
+			ops = 200000
+		}
+		return experiments.Attribution(ops)
+	}},
 }
 
 func main() {

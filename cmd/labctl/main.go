@@ -39,6 +39,7 @@ func init() {
 		{"config", "<runtime.yaml>", "parse + echo a runtime configuration", cmdConfig},
 		{"stats", "[-json] <runtime.yaml> | -addr <host:port>", "probe a booted runtime (or scrape a live one) and dump the telemetry snapshot", cmdStats},
 		{"top", "[-interval 1s] [-count N] <host:port>", "refreshing terminal view of a live runtime's /snapshot", cmdTop},
+		{"profile", "[-json] <host:port>", "latency-attribution tables from a live runtime's /profile", cmdProfile},
 	}
 }
 

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"labstor/internal/stats"
+	"labstor/internal/telemetry"
+)
+
+// cmdProfile scrapes a live runtime's /profile endpoint and renders the
+// per-stack latency-attribution tables: where each stack's time goes
+// (queue wait vs CPU vs device), broken down per op from full counts and
+// per stage from sampled spans (`labctl profile <addr>`).
+func cmdProfile(args []string) {
+	asJSON := false
+	var addr string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			asJSON = true
+		default:
+			addr = a
+		}
+	}
+	if addr == "" {
+		usage()
+	}
+
+	var attr []telemetry.StackAttribution
+	if err := fetchJSON(addr, "/profile", &attr); err != nil {
+		fatal("profile: %v", err)
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(attr, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	if len(attr) == 0 {
+		fmt.Println("no attribution data (profiling disabled, or no requests yet)")
+		return
+	}
+	for i, sa := range attr {
+		if i > 0 {
+			fmt.Println()
+		}
+		renderAttribution(sa)
+	}
+}
+
+func renderAttribution(sa telemetry.StackAttribution) {
+	fmt.Printf("%s — %d requests (%d errors), mean %.1fus\n", sa.Stack, sa.Requests, sa.Errors, sa.MeanLatencyUS)
+	fmt.Printf("  queue_wait %.1f%%  cpu %.1f%%  device %.1f%%  (sampled %d, tail retained %d)\n",
+		sa.QueueWaitPct, sa.CPUPct, sa.DevicePct, sa.Sampled, sa.TailRetained)
+
+	if len(sa.Ops) > 0 {
+		fmt.Println("\n  OPS")
+		t := &stats.Table{Header: []string{"op", "requests", "errors", "mean_us", "total_us", "wait_us", "cpu_us", "device_us"}}
+		for _, op := range sa.Ops {
+			t.AddRowf(op.Op, op.Requests, op.Errors, op.MeanUS, op.TotalUS, op.QueueWaitUS, op.CPUUS, op.DeviceUS)
+		}
+		fmt.Print(indent(t.String(), "  "))
+	}
+
+	if len(sa.Stages) > 0 {
+		fmt.Println("\n  STAGES (critical path, sampled)")
+		t := &stats.Table{Header: []string{"stage", "share%", "count", "mean_us", "p50_us", "p99_us", "total_us"}}
+		for _, st := range sa.Stages {
+			t.AddRowf(st.Stage, st.SharePct, st.Count, st.MeanUS, st.P50US, st.P99US, st.TotalUS)
+		}
+		fmt.Print(indent(t.String(), "  "))
+	}
+}
+
+func indent(s, prefix string) string {
+	var out []byte
+	atLineStart := true
+	for i := 0; i < len(s); i++ {
+		if atLineStart && s[i] != '\n' {
+			out = append(out, prefix...)
+		}
+		out = append(out, s[i])
+		atLineStart = s[i] == '\n'
+	}
+	return string(out)
+}

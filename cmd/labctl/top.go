@@ -11,30 +11,42 @@ import (
 	"labstor/internal/runtime"
 )
 
-// fetchSnapshot pulls /snapshot from a live runtime's observability server
-// and decodes it into the same typed tree the in-process path produces.
-func fetchSnapshot(addr string) (*runtime.Snapshot, error) {
+// fetchJSON pulls one endpoint from a live runtime's observability server
+// and decodes the response into v. A transport-level failure (nothing
+// listening, DNS, timeout) comes back as a clean "runtime not reachable"
+// error instead of Go's raw URL-error chain — the operator typo'd an
+// address or the runtime is down, and either way the fix is the same.
+func fetchJSON(addr, endpoint string, v any) error {
 	url := addr
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
-	url = strings.TrimRight(url, "/") + "/snapshot"
+	url = strings.TrimRight(url, "/") + endpoint
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get(url)
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("runtime not reachable at %s (is the observe server running?)", addr)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
 	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	return nil
+}
+
+// fetchSnapshot pulls /snapshot from a live runtime's observability server
+// and decodes it into the same typed tree the in-process path produces.
+func fetchSnapshot(addr string) (*runtime.Snapshot, error) {
 	var snap runtime.Snapshot
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		return nil, fmt.Errorf("decode %s: %w", url, err)
+	if err := fetchJSON(addr, "/snapshot", &snap); err != nil {
+		return nil, err
 	}
 	return &snap, nil
 }

@@ -69,7 +69,7 @@ func main() {
 	if *observeAddr != "" {
 		cfg.Observe.Addr = *observeAddr
 	}
-	if srv, bound, err := obs.FromConfig(rt, cfg.Observe.Addr, cfg.Observe.Pprof); err != nil {
+	if srv, bound, err := obs.FromConfig(rt, cfg.Observe); err != nil {
 		fatal("observe: %v", err)
 	} else if srv != nil {
 		defer srv.Close()

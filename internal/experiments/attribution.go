@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	gort "runtime"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	"labstor/internal/runtime"
+	"labstor/internal/telemetry"
+)
+
+// Attribution measures the cost of always-on latency attribution: every
+// completed request folded into the per-stack/per-op tables by the
+// worker-local Folder, plus the tail estimator's retention decision. The
+// claim under test: attribution costs <= 1% of hot-path throughput, because
+// the per-request work is a handful of plain integer adds against a cached
+// slot (flushed to shared atomics every 256 requests) and one float compare.
+//
+// The acceptance number is a direct cost accounting, like the observe
+// experiment's: the folder+estimator per-request cost is timed in isolation
+// over millions of iterations and charged against the baseline leg's
+// per-operation cost. An end-to-end wall-time comparison (attribution on vs
+// ProfileDisabled) is also run and reported, but leg-to-leg noise on a
+// shared host swamps a sub-1% signal, so it is a sanity bound, not the
+// estimate.
+func Attribution(ops int) (*Result, error) {
+	if ops <= 0 {
+		ops = 2000000
+	}
+	const window = 64
+	const trials = 5
+
+	// Bracketed end-to-end trials: baseline, attributed, baseline; compare
+	// the attributed leg to the mean of its brackets so linear host drift
+	// cancels, and take the median over trials to reject poisoned ones.
+	var base, attributed time.Duration
+	deltas := make([]float64, 0, trials)
+	for t := 0; t < trials; t++ {
+		b1, err := attributionLeg(ops, window, false)
+		if err != nil {
+			return nil, err
+		}
+		o, err := attributionLeg(ops, window, true)
+		if err != nil {
+			return nil, err
+		}
+		b2, err := attributionLeg(ops, window, false)
+		if err != nil {
+			return nil, err
+		}
+		b := minDuration(b1, b2)
+		if t == 0 || b < base {
+			base = b
+		}
+		if t == 0 || o < attributed {
+			attributed = o
+		}
+		mid := (b1.Seconds() + b2.Seconds()) / 2
+		deltas = append(deltas, 100*(o.Seconds()-mid)/mid)
+	}
+
+	foldNS := foldCost()
+	perOpNS := float64(base.Nanoseconds()) / float64(ops)
+	overhead := 100 * foldNS / perOpNS
+	e2e := median(deltas)
+
+	baseMops := hotpathMops(ops, base)
+	attrMops := hotpathMops(ops, attributed)
+
+	res := &Result{Name: "Always-on latency attribution: overhead vs profiling-off baseline"}
+	res.Table = newTable("leg", "ops", "wall_ms", "Mops/s")
+	res.Table.AddRowf("profiling off", ops, float64(base.Milliseconds()), baseMops)
+	res.Table.AddRowf("attribution + tail retention", ops, float64(attributed.Milliseconds()), attrMops)
+	res.Notes = fmt.Sprintf(
+		"attribution overhead %.3f%% of the hot path (fold+tail decision "+
+			"%.1fns against %.0fns per op); target <= 1%%. End-to-end wall "+
+			"delta %+.2f%% (median of %d bracketed trials, noise floor of "+
+			"several %% on a shared host).",
+		overhead, foldNS, perOpNS, e2e, trials)
+
+	res.V("ops", float64(ops))
+	res.V("baseline_mops", baseMops)
+	res.V("attributed_mops", attrMops)
+	res.V("fold_ns", foldNS)
+	res.V("per_op_ns", perOpNS)
+	res.V("overhead_pct", overhead)
+	res.V("e2e_delta_pct", e2e)
+	res.V("trials", float64(trials))
+	return res, nil
+}
+
+// attributionLeg pushes ops messages through a one-vertex dummy stack with
+// per-stage sampling off, so the legs differ only in the always-on paths
+// under test: the worker's Folder fold and the tail estimator's decision.
+func attributionLeg(ops, window int, attributed bool) (time.Duration, error) {
+	opts := runtime.Options{
+		MaxWorkers:      1,
+		QueueDepth:      4096,
+		PerfSampleEvery: runtime.PerfSamplingDisabled,
+	}
+	if !attributed {
+		opts.ProfileDisabled = true
+		opts.TailRing = -1
+	}
+	rt := runtime.New(opts)
+	rt.AddDevice(device.New("dev0", device.NVMe, 32<<20))
+	stack, err := rt.Mount(core.NewStack("msg::/attr", core.Rules{}, []core.Vertex{
+		{UUID: "attr/dum", Type: "labstor.dummy"},
+	}))
+	if err != nil {
+		return 0, err
+	}
+	rt.Start()
+	defer rt.Shutdown()
+
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+	reqs := make([]*core.Request, window)
+	// GC fence: both legs' timed windows start from the same collector
+	// state, so the attributed leg's table allocations (one slot per
+	// stack/op pair, made once) can't trip a collection mid-measurement.
+	gort.GC()
+	start := time.Now()
+	for done := 0; done < ops; {
+		n := window
+		if ops-done < n {
+			n = ops - done
+		}
+		for i := 0; i < n; i++ {
+			reqs[i] = core.AcquireRequest(core.OpMessage)
+		}
+		if err := cli.SubmitBatch(stack, reqs[:n]); err != nil {
+			return 0, err
+		}
+		if err := cli.WaitAll(reqs[:n]); err != nil {
+			return 0, err
+		}
+		for i := 0; i < n; i++ {
+			reqs[i].Release()
+		}
+		done += n
+	}
+	return time.Since(start), nil
+}
+
+// foldCost times the per-request attribution work in isolation — one
+// Folder.Fold against a hot cached slot plus one TailEstimator.Observe —
+// and returns the cost in nanoseconds per request. A harness-only loop with
+// the same index arithmetic is timed first and subtracted: the synthetic
+// latency computation stands in for values the real hot path already has in
+// registers, so it must not be charged to attribution.
+func foldCost() float64 {
+	const iters = 10000000
+	p := telemetry.NewProfile()
+	f := p.NewFolder(func(op uint8) string { return core.Op(op).String() })
+	est := telemetry.NewTailEstimator(telemetry.DefaultTailQuantile)
+
+	var sink int64
+	gort.GC()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		lat := int64(1000 + i%512)
+		sink += lat + lat/4 + lat/2
+	}
+	harness := time.Since(start)
+	if sink == 0 { // keep the harness loop's arithmetic live
+		return 0
+	}
+
+	gort.GC()
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		// Latencies vary so the estimator takes both branches, as it does
+		// in production; stack/op stay fixed, which is the hot-path shape
+		// (a worker drains one queue's stack for a whole batch).
+		lat := int64(1000 + i%512)
+		f.Fold(1, "msg::/attr", uint8(core.OpMessage), lat, lat/4, lat/2, false)
+		est.Observe(float64(lat))
+	}
+	elapsed := time.Since(start) - harness
+	f.Flush()
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters)
+}

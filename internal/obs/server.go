@@ -6,7 +6,11 @@
 //
 //	/metrics        Prometheus text exposition (hand-rolled, no client deps)
 //	/snapshot       the full runtime.Snapshot as JSON (re-rendered on demand)
-//	/traces         recent sampled traces; ?stack= ?op= ?min_us= ?err=1 ?n=
+//	/traces         recent sampled traces; ?stack= ?op= ?min_us= ?err=1 ?tail=1 ?n=
+//	/traces/export  same selection as /traces; ?format=chrome emits Chrome
+//	                trace-event JSON loadable in Perfetto / chrome://tracing
+//	/profile        per-stack latency-attribution tables as JSON
+//	/bundles        incident bundles captured so far (when capture is armed)
 //	/events         flight-recorder tail; ?kind=<dotted prefix> ?n=
 //	/slos           SLO watchdog verdicts as JSON
 //	/healthz        liveness + runtime state
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"labstor/internal/runtime"
+	"labstor/internal/spec"
 	"labstor/internal/telemetry"
 )
 
@@ -37,24 +42,37 @@ type Config struct {
 	Addr string
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// Bundle arms SLO-breach incident capture when Bundle.Dir is set.
+	Bundle BundleConfig
 }
 
 // Server serves the observability endpoints for one Runtime.
 type Server struct {
-	rt  *runtime.Runtime
-	cfg Config
-	ln  net.Listener
-	srv *http.Server
+	rt      *runtime.Runtime
+	cfg     Config
+	ln      net.Listener
+	srv     *http.Server
+	bundler *Bundler
 }
 
-// New builds a server (not yet listening) for rt.
+// New builds a server (not yet listening) for rt. When cfg.Bundle.Dir is
+// set, a Bundler is armed on the runtime's SLO-breach hook immediately —
+// incident capture does not wait for Start (breaches during boot warmup
+// are often the interesting ones).
 func New(rt *runtime.Runtime, cfg Config) *Server {
 	s := &Server{rt: rt, cfg: cfg}
+	if cfg.Bundle.Dir != "" {
+		s.bundler = NewBundler(rt, cfg.Bundle)
+		rt.OnSLOBreach(s.bundler.OnBreach)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.timed("/metrics", s.handleMetrics))
 	mux.HandleFunc("/snapshot", s.timed("/snapshot", s.handleSnapshot))
 	mux.HandleFunc("/traces", s.timed("/traces", s.handleTraces))
+	mux.HandleFunc("/traces/export", s.timed("/traces/export", s.handleTracesExport))
+	mux.HandleFunc("/profile", s.timed("/profile", s.handleProfile))
+	mux.HandleFunc("/bundles", s.timed("/bundles", s.handleBundles))
 	mux.HandleFunc("/events", s.timed("/events", s.handleEvents))
 	mux.HandleFunc("/slos", s.timed("/slos", s.handleSLOs))
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -114,13 +132,25 @@ func (s *Server) Close() error {
 	return s.srv.Close()
 }
 
+// Bundler returns the armed incident bundler (nil when capture is off).
+func (s *Server) Bundler() *Bundler { return s.bundler }
+
 // FromConfig starts a server when the parsed `observe:` section enables one
 // (nil, nil when Addr is empty — observability stays opt-in).
-func FromConfig(rt *runtime.Runtime, addr string, withPprof bool) (*Server, string, error) {
-	if addr == "" {
+func FromConfig(rt *runtime.Runtime, ob spec.ObserveSpec) (*Server, string, error) {
+	if ob.Addr == "" {
 		return nil, "", nil
 	}
-	s := New(rt, Config{Addr: addr, Pprof: withPprof})
+	s := New(rt, Config{
+		Addr:  ob.Addr,
+		Pprof: ob.Pprof,
+		Bundle: BundleConfig{
+			Dir:        ob.BundleDir,
+			ProfileDur: time.Duration(ob.BundleProfileMs) * time.Millisecond,
+			Cooldown:   time.Duration(ob.BundleCooldownMs) * time.Millisecond,
+			Max:        ob.BundleMax,
+		},
+	})
 	bound, err := s.Start()
 	if err != nil {
 		return nil, "", err
@@ -135,7 +165,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "labstor observability plane")
-	for _, ep := range []string{"/metrics", "/snapshot", "/traces", "/events", "/slos", "/healthz"} {
+	for _, ep := range []string{"/metrics", "/snapshot", "/traces", "/traces/export", "/profile", "/bundles", "/events", "/slos", "/healthz"} {
 		fmt.Fprintln(w, "  "+ep)
 	}
 	if s.cfg.Pprof {
@@ -158,16 +188,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(raw)
 }
 
-// handleTraces serves the trace rings. ?err=1 selects the error ring (every
-// failed request, unsampled included); otherwise the sampled ring. Remaining
-// filters intersect: ?stack=<mount> ?op=<name> ?min_us=<latency floor>
-// ?n=<last N>.
-func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+// selectTraces applies the shared /traces query grammar to pick a ring and
+// filter it. ?tail=1 selects the tail-outlier ring (the slowest requests,
+// retained regardless of the sampling period), ?err=1 the error ring;
+// otherwise the sampled ring. Remaining filters intersect: ?stack=<mount>
+// ?op=<name> ?min_us=<latency floor> ?n=<last N>.
+func (s *Server) selectTraces(r *http.Request) []telemetry.Trace {
 	q := r.URL.Query()
 	var traces []telemetry.Trace
-	if q.Get("err") == "1" || q.Get("err") == "true" {
+	switch {
+	case q.Get("tail") == "1" || q.Get("tail") == "true":
+		traces = s.rt.TailTraces()
+	case q.Get("err") == "1" || q.Get("err") == "true":
 		traces = s.rt.Tracer().RecentErrors()
-	} else {
+	default:
 		traces = s.rt.Traces()
 	}
 	stack, op := q.Get("stack"), q.Get("op")
@@ -185,8 +219,56 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, tr)
 	}
-	out = lastN(out, q.Get("n"))
-	writeJSON(w, out)
+	return lastN(out, q.Get("n"))
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.selectTraces(r))
+}
+
+// handleTracesExport renders the same selection as /traces in an external
+// viewer format. ?format=chrome (the default) emits Chrome trace-event JSON:
+// save the response and load it in Perfetto or chrome://tracing to see each
+// request's queue-wait/cpu/device anatomy on a per-worker timeline.
+func (s *Server) handleTracesExport(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "chrome"
+	}
+	if format != "chrome" {
+		http.Error(w, fmt.Sprintf("unknown format %q (supported: chrome)", format), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="labstor-trace.json"`)
+	if err := telemetry.WriteChromeTrace(w, s.selectTraces(r)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleProfile serves the per-stack latency-attribution tables: where does
+// each stack's latency go (queue wait vs CPU vs device), per op and — from
+// sampled spans — per stage.
+func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	attr := s.rt.Attribution()
+	if attr == nil {
+		attr = []telemetry.StackAttribution{}
+	}
+	writeJSON(w, attr)
+}
+
+// handleBundles lists the incident bundles captured so far.
+func (s *Server) handleBundles(w http.ResponseWriter, _ *http.Request) {
+	if s.bundler == nil {
+		writeJSON(w, map[string]any{"armed": false, "bundles": []BundleInfo{}})
+		return
+	}
+	writeJSON(w, map[string]any{
+		"armed":   true,
+		"dir":     s.cfg.Bundle.Dir,
+		"skipped": s.bundler.Skipped(),
+		"bundles": s.bundler.List(),
+	})
 }
 
 // handleEvents serves the flight-recorder tail; ?kind= filters by dotted

@@ -16,6 +16,7 @@ import (
 	_ "labstor/internal/mods/allmods"
 	"labstor/internal/obs"
 	"labstor/internal/runtime"
+	"labstor/internal/spec"
 	"labstor/internal/telemetry"
 )
 
@@ -338,7 +339,7 @@ func TestServeConcurrentWithTraffic(t *testing.T) {
 
 func TestFromConfigDisabled(t *testing.T) {
 	rt := runtime.New(runtime.Options{MaxWorkers: 1})
-	srv, bound, err := obs.FromConfig(rt, "", true)
+	srv, bound, err := obs.FromConfig(rt, spec.ObserveSpec{Pprof: true})
 	if srv != nil || bound != "" || err != nil {
 		t.Fatalf("FromConfig with empty addr: %v %q %v", srv, bound, err)
 	}

@@ -102,6 +102,18 @@ type Options struct {
 	SLOs []SLOTarget
 	// SLOCheckEvery is the watchdog evaluation period (default 100ms).
 	SLOCheckEvery time.Duration
+	// TailRing is the capacity of the tail-outlier trace ring: traces whose
+	// latency crossed the rolling per-stack quantile threshold, retained
+	// regardless of 1-in-N sampling (0 = telemetry.DefaultTailRing; negative
+	// disables tail retention).
+	TailRing int
+	// TailQuantile is the rolling quantile the tail estimator tracks
+	// (0 = telemetry.DefaultTailQuantile, i.e. 0.99: retain the slowest ~1%).
+	TailQuantile float64
+	// ProfileDisabled turns off the always-on latency-attribution aggregator
+	// (benchmark baselines; production keeps it on — see the attribution
+	// experiment for its measured cost).
+	ProfileDisabled bool
 }
 
 // PerfSamplingDisabled is the PerfSampleEvery value that turns sampling off.
@@ -162,6 +174,8 @@ func FromConfig(cfg *spec.RuntimeConfig) Options {
 		TraceRing:       cfg.TraceRing,
 		FlightRing:      cfg.Observe.FlightRing,
 		SLOCheckEvery:   time.Duration(cfg.Observe.SLOCheckMs) * time.Millisecond,
+		TailRing:        cfg.Observe.Tail,
+		TailQuantile:    cfg.Observe.TailQuantile,
 	}
 	for _, s := range cfg.SLOs {
 		opts.SLOs = append(opts.SLOs, SLOTarget{Stack: s.Stack, P99US: s.P99Us, MaxErrRate: s.MaxErrRate})
@@ -200,6 +214,16 @@ type Runtime struct {
 	tracer  *telemetry.Tracer
 	events  *telemetry.FlightRecorder
 
+	// profile is the always-on latency-attribution aggregator (nil when
+	// Options.ProfileDisabled); workers fold every completed request into it
+	// through worker-local Folders.
+	profile *telemetry.Profile
+
+	// onBreach hooks run (each on its own goroutine) when an SLO target
+	// transitions into breach — the incident-bundle capture path.
+	breachMu sync.Mutex
+	onBreach []func(SLOStatus)
+
 	// slo is the SLO watchdog (nil when no targets are configured);
 	// stackStats maps stack ID → per-stack completion accounting.
 	slo        *sloWatchdog
@@ -211,6 +235,7 @@ type Runtime struct {
 	flightDumpW  io.Writer
 
 	// Cached metric handles for the sampled-request path.
+	mTail      *telemetry.Counter
 	mSampled   *telemetry.Counter
 	hLatencyUS *stats.Histogram
 	hWaitUS    *stats.Histogram
@@ -244,11 +269,16 @@ func New(opts Options) *Runtime {
 	rt.metrics = rt.Env.Metrics
 	rt.tracer = telemetry.NewTracer(opts.TraceRing)
 	rt.tracer.SetSink(opts.TraceSink)
+	rt.tracer.SetTailRing(opts.TailRing)
+	if !opts.ProfileDisabled {
+		rt.profile = telemetry.NewProfile()
+	}
 	rt.events = telemetry.NewFlightRecorder(opts.FlightRing)
 	rt.flightDumpW = os.Stderr
 	if len(opts.SLOs) > 0 {
 		rt.slo = newSLOWatchdog(rt, opts.SLOs)
 	}
+	rt.mTail = rt.metrics.Counter("runtime.tail_retained")
 	rt.mSampled = rt.metrics.Counter("runtime.sampled_requests")
 	rt.hLatencyUS = rt.metrics.Histogram("request.latency_us")
 	rt.hWaitUS = rt.metrics.Histogram("request.queue_wait_us")
@@ -424,8 +454,26 @@ func (rt *Runtime) recordTrace(workerID, queueID int, stackMount string, req *co
 	rt.hWaitUS.Observe(tr.QueueWait.Micros())
 	rt.hCPUUS.Observe(tr.CPU.Micros())
 	rt.tracer.Capture(tr)
+	if rt.profile != nil {
+		rt.profile.FoldSpans(req.StackID, stackMount, tr)
+	}
 	if tr.Err != "" {
 		rt.recordErrorEvent(tr)
+	}
+}
+
+// recordTailTrace retains an outlier request (latency above the worker's
+// rolling per-stack quantile estimate) in the tracer's tail ring. It never
+// emits to the sink — a request that is both sampled and an outlier already
+// emitted once via recordTrace, and the sink contract is one emit per
+// request.
+func (rt *Runtime) recordTailTrace(workerID, queueID int, stackMount string, req *core.Request, start vtime.Time) {
+	tr := buildTrace(workerID, queueID, stackMount, req, start)
+	if rt.tracer.CaptureTail(tr) {
+		rt.mTail.Inc()
+		if rt.profile != nil {
+			rt.profile.TailNote(req.StackID, stackMount)
+		}
 	}
 }
 
@@ -452,6 +500,23 @@ func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tracer }
 
 // Traces returns the retained sampled-request traces, oldest first.
 func (rt *Runtime) Traces() []telemetry.Trace { return rt.tracer.Recent() }
+
+// TailTraces returns the retained tail-outlier traces, oldest first (nil
+// when tail retention is disabled).
+func (rt *Runtime) TailTraces() []telemetry.Trace { return rt.tracer.RecentTail() }
+
+// Profile returns the always-on attribution aggregator (nil when disabled).
+func (rt *Runtime) Profile() *telemetry.Profile { return rt.profile }
+
+// Attribution returns the per-stack latency-attribution tables. Workers
+// publish their folded deltas when idle (and every few hundred requests),
+// so a snapshot taken mid-burst can trail the true counts slightly.
+func (rt *Runtime) Attribution() []telemetry.StackAttribution {
+	if rt.profile == nil {
+		return nil
+	}
+	return rt.profile.Snapshot()
+}
 
 // PerfCounter is one pipeline stage's sampled cost statistics.
 type PerfCounter struct {
@@ -630,6 +695,27 @@ func (rt *Runtime) SLOStatus() []SLOStatus {
 func (rt *Runtime) EvaluateSLOs() {
 	if rt.slo != nil {
 		rt.slo.Evaluate()
+	}
+}
+
+// OnSLOBreach registers a hook invoked whenever an SLO target transitions
+// into breach (not on every breaching evaluation). Each invocation runs on
+// its own goroutine, so hooks may do slow work — incident-bundle capture
+// profiles the process for hundreds of milliseconds — without stalling the
+// watchdog.
+func (rt *Runtime) OnSLOBreach(fn func(SLOStatus)) {
+	rt.breachMu.Lock()
+	rt.onBreach = append(rt.onBreach, fn)
+	rt.breachMu.Unlock()
+}
+
+// notifyBreach fans a breach transition out to the registered hooks.
+func (rt *Runtime) notifyBreach(status SLOStatus) {
+	rt.breachMu.Lock()
+	hooks := append([]func(SLOStatus){}, rt.onBreach...)
+	rt.breachMu.Unlock()
+	for _, fn := range hooks {
+		go fn(status)
 	}
 }
 

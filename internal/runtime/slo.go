@@ -61,10 +61,10 @@ type sloState struct {
 	breaches    int64
 	evals       int64
 
-	gOK      *telemetry.Gauge
-	gP99     *telemetry.Gauge
-	gErrPPM  *telemetry.Gauge
-	cBreach  *telemetry.Counter
+	gOK     *telemetry.Gauge
+	gP99    *telemetry.Gauge
+	gErrPPM *telemetry.Gauge
+	cBreach *telemetry.Counter
 }
 
 // sloWatchdog periodically evaluates every configured target against the
@@ -161,6 +161,9 @@ func (wd *sloWatchdog) Evaluate() {
 					"target_err":     fmt.Sprintf("%.4f", st.target.MaxErrRate),
 					"window_samples": fmt.Sprintf("%d", st.lastSamples),
 				})
+			// Breach transitions fan out to registered hooks (incident-bundle
+			// capture); each hook runs on its own goroutine.
+			wd.rt.notifyBreach(st.status())
 		} else if !breached && !st.ok {
 			st.ok = true
 			wd.rt.events.Record(telemetry.EvSLORecover,
@@ -173,24 +176,29 @@ func (wd *sloWatchdog) Evaluate() {
 	}
 }
 
+// status renders one target's current evaluation state (caller holds wd.mu).
+func (st *sloState) status() SLOStatus {
+	return SLOStatus{
+		Stack:         st.target.Stack,
+		TargetP99US:   st.target.P99US,
+		TargetErrRate: st.target.MaxErrRate,
+		P99US:         st.lastP99,
+		ErrRate:       st.lastErrRate,
+		Samples:       st.lastSamples,
+		Requests:      st.lastReqs,
+		OK:            st.ok,
+		Breaches:      st.breaches,
+		Evals:         st.evals,
+	}
+}
+
 // Status returns every target's current evaluation state.
 func (wd *sloWatchdog) Status() []SLOStatus {
 	wd.mu.Lock()
 	defer wd.mu.Unlock()
 	out := make([]SLOStatus, 0, len(wd.states))
 	for _, st := range wd.states {
-		out = append(out, SLOStatus{
-			Stack:         st.target.Stack,
-			TargetP99US:   st.target.P99US,
-			TargetErrRate: st.target.MaxErrRate,
-			P99US:         st.lastP99,
-			ErrRate:       st.lastErrRate,
-			Samples:       st.lastSamples,
-			Requests:      st.lastReqs,
-			OK:            st.ok,
-			Breaches:      st.breaches,
-			Evals:         st.evals,
-		})
+		out = append(out, st.status())
 	}
 	return out
 }

@@ -53,6 +53,9 @@ type Snapshot struct {
 	SLOs []SLOStatus `json:"slos,omitempty"`
 	// Events is the flight recorder's retained tail, oldest first.
 	Events []telemetry.Event `json:"events,omitempty"`
+	// Attribution is the always-on per-stack latency-attribution table
+	// (absent when profiling is disabled).
+	Attribution []telemetry.StackAttribution `json:"attribution,omitempty"`
 }
 
 // Snapshot collects the full telemetry tree from a running (or stopped)
@@ -90,6 +93,7 @@ func (rt *Runtime) Snapshot() *Snapshot {
 		ErrorTraces: rt.tracer.RecentErrors(),
 		SLOs:        rt.SLOStatus(),
 		Events:      rt.events.Recent(),
+		Attribution: rt.Attribution(),
 	}
 	sort.Slice(snap.Stages, func(i, j int) bool { return snap.Stages[i].Stage < snap.Stages[j].Stage })
 
@@ -201,6 +205,16 @@ func (s *Snapshot) String() string {
 			lt.AddRowf(o.Stack, state, o.P99US, o.TargetP99US, o.ErrRate, o.TargetErrRate, o.Breaches, o.Evals)
 		}
 		b.WriteString(lt.String())
+	}
+
+	if len(s.Attribution) > 0 {
+		b.WriteString("\n== attribution ==\n")
+		at := &stats.Table{Header: []string{"stack", "requests", "errors", "mean_us", "wait%", "cpu%", "device%", "sampled", "tail"}}
+		for _, sa := range s.Attribution {
+			at.AddRowf(sa.Stack, sa.Requests, sa.Errors, sa.MeanLatencyUS,
+				sa.QueueWaitPct, sa.CPUPct, sa.DevicePct, sa.Sampled, sa.TailRetained)
+		}
+		b.WriteString(at.String())
 	}
 
 	if len(s.Traces) > 0 {

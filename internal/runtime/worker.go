@@ -46,6 +46,21 @@ type Worker struct {
 	// are taken from a queue per scan with one vectored ring reservation.
 	// len == 1 selects the original single-request poll path.
 	batchBuf []*Request
+
+	// folder is this worker's latency-attribution delta accumulator (nil
+	// when profiling is disabled): every completed request folds into it
+	// with plain integer adds, and deltas publish to the shared Profile on
+	// idle scans and every few hundred requests. Worker-owned: only touched
+	// from the run goroutine.
+	folder *telemetry.Folder
+
+	// tails tracks a rolling latency quantile per stack this worker drains
+	// (nil when tail retention is disabled); requests above the estimate are
+	// retained in the tracer's tail ring. The last-used estimator is cached
+	// so the common one-stack-per-queue case skips the map.
+	tails      map[int]*telemetry.TailEstimator
+	tailLast   *telemetry.TailEstimator
+	tailLastID int
 }
 
 func newWorker(rt *Runtime, id int) *Worker {
@@ -59,7 +74,28 @@ func newWorker(rt *Runtime, id int) *Worker {
 	}
 	empty := []*QP{}
 	w.queues.Store(&empty)
+	if rt.profile != nil {
+		w.folder = rt.profile.NewFolder(func(op uint8) string { return core.Op(op).String() })
+	}
+	if rt.opts.TailRing >= 0 {
+		w.tails = make(map[int]*telemetry.TailEstimator)
+	}
 	return w
+}
+
+// tailFor returns (creating on first use) this worker's tail estimator for a
+// stack. Worker-owned state: no locking.
+func (w *Worker) tailFor(stackID int) *telemetry.TailEstimator {
+	if w.tailLast != nil && w.tailLastID == stackID {
+		return w.tailLast
+	}
+	te, ok := w.tails[stackID]
+	if !ok {
+		te = telemetry.NewTailEstimator(w.rt.opts.TailQuantile)
+		w.tails[stackID] = te
+	}
+	w.tailLast, w.tailLastID = te, stackID
+	return te
 }
 
 func (w *Worker) setActive(a bool) {
@@ -117,6 +153,12 @@ func (w *Worker) assigned() []*QP { return *w.queues.Load() }
 // as a lost-wakeup backstop.
 func (w *Worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	if w.folder != nil {
+		// Publish any attribution deltas still pending when the worker exits
+		// (shutdown with fewer than folderFlushEvery requests since the last
+		// idle scan).
+		defer w.folder.Flush()
+	}
 	defer w.rt.flightOnPanic(fmt.Sprintf("worker %d", w.id))
 	idleRounds := 0
 	for {
@@ -191,6 +233,12 @@ func (w *Worker) pollOnce() bool {
 	}
 	if !any {
 		w.emptyPolls.Add(1)
+		// Idle scan: publish attribution deltas so readers (/profile,
+		// snapshots) see counts that are current to the last burst. Flush
+		// no-ops when nothing is pending.
+		if w.folder != nil {
+			w.folder.Flush()
+		}
 	}
 	return any
 }
@@ -307,14 +355,40 @@ func (w *Worker) executeOne(qp *QP, req *Request, seq int64) (cpuUsed vtime.Dura
 	if req.Err != nil {
 		ss.errors.Inc()
 	}
+
+	// Always-on attribution: every completion folds its coarse anatomy
+	// (latency = queue wait + CPU + device) into the worker-local folder —
+	// plain integer adds on worker-owned state, published in batches.
+	lat := req.Clock.Sub(req.Arrival)
+	if w.folder != nil {
+		w.folder.Fold(req.StackID, mount, uint8(req.Op), int64(lat),
+			int64(begin.Sub(req.Arrival)), int64(cpuUsed), req.Err != nil)
+	}
+
+	// Trace retention decision point — the ONLY place a completed request
+	// reaches the tracer, so the sink's one-emit-per-request contract holds
+	// by construction: a request flows through exactly one of recordTrace
+	// (sampled; mirrors errors into the error ring itself) or
+	// recordErrorTrace (unsampled failure). Tail retention below never
+	// emits to the sink.
 	if sampled {
-		ss.lat.Observe(req.Clock.Sub(req.Arrival).Micros())
+		ss.lat.Observe(lat.Micros())
 		w.rt.recordPerf(req.Stages)
 		w.rt.recordTrace(w.id, qp.ID, mount, req, begin)
 	} else if req.Err != nil {
 		// Errors are always captured — unsampled failures go to the
 		// tracer's bounded error ring so /traces?err=1 shows real faults.
 		w.rt.recordErrorTrace(w.id, qp.ID, mount, req, begin)
+	}
+
+	// Tail-based retention: every completion passes the rolling per-stack
+	// quantile estimator; outliers land in the tail ring regardless of what
+	// the 1-in-N sampler picked, so /traces?tail=1 always has the slowest
+	// requests.
+	if w.tails != nil {
+		if w.tailFor(req.StackID).Observe(float64(lat)) {
+			w.rt.recordTailTrace(w.id, qp.ID, mount, req, begin)
+		}
 	}
 	return cpuUsed, ok, sampled
 }

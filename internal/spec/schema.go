@@ -138,6 +138,12 @@ type OrchestratorSpec struct {
 //	  pprof: true
 //	  flight_ring: 256
 //	  slo_check_ms: 100
+//	  tail: 64                # tail-outlier trace ring (-1 disables)
+//	  tail_quantile: 0.99     # retain requests above this rolling quantile
+//	  bundle_dir: /tmp/labstor-bundles   # empty = no incident bundles
+//	  bundle_profile_ms: 250
+//	  bundle_cooldown_ms: 60000
+//	  bundle_max: 16
 type ObserveSpec struct {
 	// Addr is the listen address for the metrics/debug HTTP server
 	// ("" disables it; host:0 binds an ephemeral port).
@@ -149,6 +155,24 @@ type ObserveSpec struct {
 	FlightRing int
 	// SLOCheckMs is the SLO watchdog evaluation period (0 = default 100ms).
 	SLOCheckMs int
+	// Tail is the tail-outlier trace ring capacity: traces slower than the
+	// rolling per-stack quantile threshold, retained regardless of 1-in-N
+	// sampling (0 = default 64, negative disables tail retention).
+	Tail int
+	// TailQuantile is the rolling quantile the tail estimator tracks
+	// (0 = default 0.99: the slowest ~1% of requests are outliers).
+	TailQuantile float64
+	// BundleDir, when set, arms incident capture: every SLO breach
+	// transition writes a diagnostic bundle directory under it.
+	BundleDir string
+	// BundleProfileMs is how long the bundle's CPU profile runs
+	// (0 = default 250ms).
+	BundleProfileMs int
+	// BundleCooldownMs rate-limits capture per stack (0 = default 60s).
+	BundleCooldownMs int
+	// BundleMax caps the number of bundles written per runtime lifetime
+	// (0 = default 16).
+	BundleMax int
 }
 
 // SLOSpec is one per-stack service-level objective:
@@ -248,6 +272,12 @@ func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
 		cfg.Observe.Pprof = ob.Bool("pprof", cfg.Observe.Pprof)
 		cfg.Observe.FlightRing = ob.Int("flight_ring", cfg.Observe.FlightRing)
 		cfg.Observe.SLOCheckMs = ob.Int("slo_check_ms", cfg.Observe.SLOCheckMs)
+		cfg.Observe.Tail = ob.Int("tail", cfg.Observe.Tail)
+		cfg.Observe.TailQuantile = ob.Float("tail_quantile", cfg.Observe.TailQuantile)
+		cfg.Observe.BundleDir = ob.Str("bundle_dir", cfg.Observe.BundleDir)
+		cfg.Observe.BundleProfileMs = ob.Int("bundle_profile_ms", cfg.Observe.BundleProfileMs)
+		cfg.Observe.BundleCooldownMs = ob.Int("bundle_cooldown_ms", cfg.Observe.BundleCooldownMs)
+		cfg.Observe.BundleMax = ob.Int("bundle_max", cfg.Observe.BundleMax)
 	}
 	if slos := root.Get("slo"); slos != nil && slos.IsList() {
 		for i, sn := range slos.List() {

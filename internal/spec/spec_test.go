@@ -327,6 +327,42 @@ slo:
 	}
 }
 
+func TestParseObserveTailAndBundle(t *testing.T) {
+	cfg, err := ParseRuntimeConfig(`
+observe:
+  addr: 127.0.0.1:0
+  tail: 128
+  tail_quantile: 0.995
+  bundle_dir: /tmp/labstor-bundles
+  bundle_profile_ms: 100
+  bundle_cooldown_ms: 30000
+  bundle_max: 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := cfg.Observe
+	if ob.Tail != 128 || ob.TailQuantile != 0.995 {
+		t.Fatalf("tail knobs %+v", ob)
+	}
+	if ob.BundleDir != "/tmp/labstor-bundles" || ob.BundleProfileMs != 100 ||
+		ob.BundleCooldownMs != 30000 || ob.BundleMax != 4 {
+		t.Fatalf("bundle knobs %+v", ob)
+	}
+
+	// Absent keys stay zero: downstream layers own the defaults, so a bare
+	// config keeps tail retention at DefaultTailRing and capture disarmed.
+	cfg, err = ParseRuntimeConfig("observe:\n  addr: :0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob = cfg.Observe
+	if ob.Tail != 0 || ob.TailQuantile != 0 || ob.BundleDir != "" ||
+		ob.BundleProfileMs != 0 || ob.BundleCooldownMs != 0 || ob.BundleMax != 0 {
+		t.Fatalf("unset tail/bundle knobs not zero: %+v", ob)
+	}
+}
+
 func TestParseObserveDefaults(t *testing.T) {
 	cfg, err := ParseRuntimeConfig("")
 	if err != nil {

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: renders a set of Traces as the Trace Event
+// Format JSON that chrome://tracing and Perfetto (ui.perfetto.dev) open
+// directly. Each stack becomes a "process" (pid = stack ID), each worker a
+// "thread" (tid), and every request unrolls into complete ("ph":"X") events
+// along the virtual timeline — one per recorded span, or synthesized coarse
+// queue_wait/cpu/device phases when the request was retained without spans
+// (tail outliers under 1-in-N sampling). Virtual nanoseconds map to the
+// format's microsecond timestamps, so a 4.2µs request renders 4.2µs wide.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders traces as Chrome trace-event JSON. Traces from
+// multiple stacks and workers interleave correctly: the virtual timeline is
+// global, so Perfetto's track view shows queueing overlap across workers.
+func WriteChromeTrace(w io.Writer, traces []Trace) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+
+	// Stable metadata: one process_name per stack, one thread_name per
+	// (stack, worker) pair.
+	type tidKey struct{ pid, tid int }
+	stacks := map[int]string{}
+	threads := map[tidKey]bool{}
+	for _, t := range traces {
+		if _, ok := stacks[t.StackID]; !ok {
+			stacks[t.StackID] = t.Stack
+		}
+		threads[tidKey{t.StackID, t.Worker}] = true
+	}
+	pids := make([]int, 0, len(stacks))
+	for pid := range stacks {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": "stack " + stacks[pid]},
+		})
+	}
+	tids := make([]tidKey, 0, len(threads))
+	for k := range threads {
+		tids = append(tids, k)
+	}
+	sort.Slice(tids, func(i, j int) bool {
+		if tids[i].pid != tids[j].pid {
+			return tids[i].pid < tids[j].pid
+		}
+		return tids[i].tid < tids[j].tid
+	})
+	for _, k := range tids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: k.pid, TID: k.tid,
+			Args: map[string]any{"name": "worker"},
+		})
+	}
+
+	for _, t := range traces {
+		doc.TraceEvents = append(doc.TraceEvents, traceToEvents(t)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// traceToEvents unrolls one request along its virtual timeline.
+func traceToEvents(t Trace) []chromeEvent {
+	args := map[string]any{"req_id": t.ReqID, "op": t.Op}
+	if t.Err != "" {
+		args["err"] = t.Err
+	}
+	out := make([]chromeEvent, 0, len(t.Spans)+2)
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	emit := func(name string, startNS, durNS int64) {
+		if durNS < 0 {
+			durNS = 0
+		}
+		out = append(out, chromeEvent{
+			Name: name, Ph: "X",
+			Ts: us(startNS), Dur: us(durNS),
+			PID: t.StackID, TID: t.Worker, Args: args,
+		})
+	}
+
+	arrival := int64(t.Arrival)
+	start := int64(t.Start)
+	end := int64(t.End)
+
+	if len(t.Spans) == 0 {
+		// Unsampled retention (tail ring / error ring): no span detail, so
+		// synthesize the coarse anatomy — queue wait to service start, the
+		// charged CPU, then the modeled device remainder.
+		cpu := int64(t.CPU)
+		emit("queue_wait", arrival, start-arrival)
+		emit("cpu", start, cpu)
+		if dev := end - start - cpu; dev > 0 {
+			emit("device", start+cpu, dev)
+		}
+		return out
+	}
+
+	// Sampled retention: the span chain is the anatomy. The "ipc" charge
+	// happens inside the queue-wait window; every other span plays
+	// sequentially from service start.
+	cursor := start
+	for _, s := range t.Spans {
+		if s.Stage == ipcStage {
+			emit(s.Stage, arrival, int64(s.Cost))
+			continue
+		}
+		emit(s.Stage, cursor, int64(s.Cost))
+		cursor += int64(s.Cost)
+	}
+	if wait := start - arrival; wait > 0 {
+		emit(QueueWaitStage, arrival, wait)
+	}
+	return out
+}

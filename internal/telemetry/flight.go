@@ -15,14 +15,15 @@ import (
 // Well-known flight-recorder event kinds. Kinds are dotted families so
 // /events?kind=slo matches every slo.* event by prefix.
 const (
-	EvRuntime      = "runtime.lifecycle"    // start/shutdown/crash/restart
-	EvWorker       = "worker.lifecycle"     // worker activation changes
+	EvRuntime      = "runtime.lifecycle" // start/shutdown/crash/restart
+	EvWorker       = "worker.lifecycle"  // worker activation changes
 	EvRebalance    = "orchestrator.rebalance"
-	EvUpgrade      = "mod.upgrade"          // live upgrade applied/failed
-	EvRequestError = "request.error"        // an errored request completed
-	EvSLOBreach    = "slo.breach"           // a watchdog target went out of SLO
-	EvSLORecover   = "slo.recover"          // a breached target came back
-	EvObserve      = "obs.server"           // observability server lifecycle
+	EvUpgrade      = "mod.upgrade"   // live upgrade applied/failed
+	EvRequestError = "request.error" // an errored request completed
+	EvSLOBreach    = "slo.breach"    // a watchdog target went out of SLO
+	EvSLORecover   = "slo.recover"   // a breached target came back
+	EvObserve      = "obs.server"    // observability server lifecycle
+	EvBundle       = "obs.bundle"    // incident diagnostic bundle captured/skipped
 )
 
 // Event is one structured flight-recorder entry: what happened, when — both

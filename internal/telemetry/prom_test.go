@@ -28,7 +28,7 @@ func fixedSnapshot() MetricsSnapshot {
 			"slo.ok;stack=fs::/a":         1,
 		},
 		Histograms: map[string]HistogramSnapshot{
-			"request.latency_us": {Count: 100, Mean: 12.5, Min: 1, P50: 10, P90: 20, P99: 30, P999: 40, Max: 50},
+			"request.latency_us":            {Count: 100, Mean: 12.5, Min: 1, P50: 10, P90: 20, P99: 30, P999: 40, Max: 50},
 			"stack.latency_us;stack=fs::/a": {Count: 4, Mean: 2, Min: 1, P50: 2, P90: 3, P99: 3, P999: 3, Max: 3},
 		},
 	}

@@ -75,6 +75,9 @@ const DefaultTraceRing = 256
 // DefaultErrorRing is the error-trace ring capacity when none is configured.
 const DefaultErrorRing = 64
 
+// DefaultTailRing is the tail-outlier ring capacity when none is configured.
+const DefaultTailRing = 64
+
 // Tracer keeps a bounded ring of the most recent traces and forwards each
 // capture to an optional sink. Errored traces are additionally retained in
 // a separate bounded ring, independent of sampling: failures are the traces
@@ -91,8 +94,16 @@ type Tracer struct {
 	errNext int
 	errFull bool
 
-	captured  atomic.Int64
-	errCaught atomic.Int64
+	// Tail ring: outlier traces retained because their latency crossed the
+	// rolling per-stack quantile threshold, independent of 1-in-N sampling.
+	tailMu   sync.Mutex
+	tailRing []Trace
+	tailNext int
+	tailFull bool
+
+	captured   atomic.Int64
+	errCaught  atomic.Int64
+	tailCaught atomic.Int64
 
 	sinkMu sync.RWMutex
 	sink   Sink
@@ -105,9 +116,28 @@ func NewTracer(capacity int) *Tracer {
 		capacity = DefaultTraceRing
 	}
 	return &Tracer{
-		ring:    make([]Trace, capacity),
-		errRing: make([]Trace, DefaultErrorRing),
+		ring:     make([]Trace, capacity),
+		errRing:  make([]Trace, DefaultErrorRing),
+		tailRing: make([]Trace, DefaultTailRing),
 	}
+}
+
+// SetTailRing resizes the tail-outlier ring: 0 restores DefaultTailRing, a
+// negative capacity disables tail retention entirely. Existing tail traces
+// are dropped. Call before traffic starts (the runtime does this while
+// booting).
+func (tr *Tracer) SetTailRing(capacity int) {
+	tr.tailMu.Lock()
+	defer tr.tailMu.Unlock()
+	switch {
+	case capacity < 0:
+		tr.tailRing = nil
+	case capacity == 0:
+		tr.tailRing = make([]Trace, DefaultTailRing)
+	default:
+		tr.tailRing = make([]Trace, capacity)
+	}
+	tr.tailNext, tr.tailFull = 0, false
 }
 
 // SetSink installs (or, with nil, removes) the trace sink.
@@ -155,6 +185,27 @@ func (tr *Tracer) CaptureError(t Trace) {
 	}
 }
 
+// CaptureTail retains an outlier trace in the tail ring. It deliberately
+// does NOT forward to the sink: a request that is both sampled and a tail
+// outlier already emits once via Capture, and the sink's contract is one
+// emit per request. Returns false when tail retention is disabled.
+func (tr *Tracer) CaptureTail(t Trace) bool {
+	tr.tailMu.Lock()
+	if tr.tailRing == nil {
+		tr.tailMu.Unlock()
+		return false
+	}
+	tr.tailRing[tr.tailNext] = t
+	tr.tailNext++
+	if tr.tailNext == len(tr.tailRing) {
+		tr.tailNext = 0
+		tr.tailFull = true
+	}
+	tr.tailMu.Unlock()
+	tr.tailCaught.Add(1)
+	return true
+}
+
 func (tr *Tracer) pushError(t Trace) {
 	tr.errMu.Lock()
 	tr.errRing[tr.errNext] = t
@@ -173,6 +224,29 @@ func (tr *Tracer) Captured() int64 { return tr.captured.Load() }
 // ErrorsCaptured returns the total number of errored traces retained in the
 // error ring (including evicted).
 func (tr *Tracer) ErrorsCaptured() int64 { return tr.errCaught.Load() }
+
+// TailCaptured returns the total number of tail-outlier traces retained
+// (including evicted).
+func (tr *Tracer) TailCaptured() int64 { return tr.tailCaught.Load() }
+
+// RecentTail returns the retained tail-outlier traces, oldest first (nil
+// when tail retention is disabled).
+func (tr *Tracer) RecentTail() []Trace {
+	tr.tailMu.Lock()
+	defer tr.tailMu.Unlock()
+	if tr.tailRing == nil {
+		return nil
+	}
+	if !tr.tailFull {
+		out := make([]Trace, tr.tailNext)
+		copy(out, tr.tailRing[:tr.tailNext])
+		return out
+	}
+	out := make([]Trace, 0, len(tr.tailRing))
+	out = append(out, tr.tailRing[tr.tailNext:]...)
+	out = append(out, tr.tailRing[:tr.tailNext]...)
+	return out
+}
 
 // RecentErrors returns the retained errored traces, oldest first.
 func (tr *Tracer) RecentErrors() []Trace {

@@ -8,6 +8,8 @@
 #      ordering-dependent races the single straight-line pass can miss.
 #   5. observe smoke: boot labstor-runtime with the observability server on
 #      an ephemeral port and assert /metrics and /snapshot serve payloads.
+#   6. bench gate (warn-only): fresh hotpath bench vs the committed
+#      BENCH_hotpath.json baseline; >10% regression warns, never fails.
 # Run from the repository root (or via `make check`).
 set -eu
 cd "$(dirname "$0")/.."
@@ -32,5 +34,8 @@ go test -bench=. -benchtime=1x -run '^$' ./...
 
 echo "== observe smoke: scripts/obs_smoke.sh =="
 sh scripts/obs_smoke.sh
+
+echo "== bench gate (warn-only): scripts/bench_gate.sh =="
+sh scripts/bench_gate.sh
 
 echo "== check: OK =="

@@ -66,5 +66,22 @@ fetch() {
 fetch /metrics "# TYPE"
 fetch /snapshot '"workers"'
 fetch /healthz "running"
+# The attribution and export endpoints serve valid (if empty: the smoke
+# runtime carries no traffic) JSON documents of the right shape.
+fetch /profile "["
+fetch "/traces/export?format=chrome" '"traceEvents"'
+fetch /bundles '"armed"'
+
+# Strict JSON validation when a parser is on the host (optional: the
+# markers above already pin the shapes).
+if command -v python3 >/dev/null 2>&1; then
+    for ep in /profile "/traces/export?format=chrome" /bundles /slos; do
+        if ! curl -fsS --max-time 5 "http://$addr$ep" | python3 -m json.tool >/dev/null; then
+            echo "obs_smoke: $ep is not valid JSON" >&2
+            exit 1
+        fi
+    done
+    echo "obs_smoke: JSON validation OK (/profile /traces/export /bundles /slos)"
+fi
 
 echo "obs_smoke: OK"
