@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-hotpath bench-contention bench-observe bench-attribution bench-gate telemetry obs-smoke
+.PHONY: build test vet race check bench bench-hotpath bench-contention bench-zerocopy bench-observe bench-attribution bench-gate telemetry obs-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ bench-hotpath:
 # global lock, and records the scalar results in BENCH_contention.json.
 bench-contention:
 	$(GO) run ./cmd/labbench -exp contention -json BENCH_contention.json
+
+# bench-zerocopy measures the zero-copy data path: the copy ladder
+# (copypath -> baseline -> zeropath -> mapped) at 1/4/8 clients, stack-level
+# copies/op from the telemetry copy-site audit, and the modeled cross-NUMA
+# charge reduction from locality-aware placement (BENCH_zerocopy.json).
+bench-zerocopy:
+	$(GO) run ./cmd/labbench -exp zerocopy -json BENCH_zerocopy.json
 
 # bench-observe measures the cost of the live observability plane (SLO
 # watchdog + flight recorder + HTTP scraping) against the telemetry-only

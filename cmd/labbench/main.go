@@ -111,6 +111,13 @@ var catalog = []experiment{
 		}
 		return experiments.Contention([]int{1, 2, 4, 8}, ops, 4096)
 	}},
+	{"zerocopy", "Zero-copy data path ladder + NUMA-local placement", func(quick bool) (*experiments.Result, error) {
+		ops := 300000
+		if quick {
+			ops = 20000
+		}
+		return experiments.Zerocopy([]int{1, 4, 8}, ops, 4096)
+	}},
 	{"observe", "Observability plane overhead vs telemetry-only baseline", func(quick bool) (*experiments.Result, error) {
 		ops := 2000000
 		if quick {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"labstor/internal/obs"
 	"labstor/internal/stats"
 	"labstor/internal/telemetry"
 )
@@ -27,28 +28,51 @@ func cmdProfile(args []string) {
 		usage()
 	}
 
-	var attr []telemetry.StackAttribution
-	if err := fetchJSON(addr, "/profile", &attr); err != nil {
+	var resp obs.ProfileResponse
+	if err := fetchJSON(addr, "/profile", &resp); err != nil {
 		fatal("profile: %v", err)
 	}
 	if asJSON {
-		out, err := json.MarshalIndent(attr, "", "  ")
+		out, err := json.MarshalIndent(resp, "", "  ")
 		if err != nil {
 			fatal("%v", err)
 		}
 		fmt.Println(string(out))
 		return
 	}
-	if len(attr) == 0 {
+	if len(resp.Stacks) == 0 {
 		fmt.Println("no attribution data (profiling disabled, or no requests yet)")
-		return
 	}
-	for i, sa := range attr {
+	for i, sa := range resp.Stacks {
 		if i > 0 {
 			fmt.Println()
 		}
 		renderAttribution(sa)
 	}
+	renderCopySites(resp)
+}
+
+// renderCopySites prints the zero-copy audit: every data-path site that
+// still memcpys payload bytes, with copies-per-request derived from the
+// attribution request totals.
+func renderCopySites(resp obs.ProfileResponse) {
+	if len(resp.CopySites) == 0 {
+		return
+	}
+	var reqs int64
+	for _, sa := range resp.Stacks {
+		reqs += sa.Requests
+	}
+	fmt.Println("\nCOPY SITES")
+	t := &stats.Table{Header: []string{"site", "copies", "bytes", "copies/op"}}
+	for _, c := range resp.CopySites {
+		perOp := "-"
+		if reqs > 0 {
+			perOp = fmt.Sprintf("%.3f", float64(c.Count)/float64(reqs))
+		}
+		t.AddRowf(c.Site, c.Count, c.Bytes, perOp)
+	}
+	fmt.Print(indent(t.String(), "  "))
 }
 
 func renderAttribution(sa telemetry.StackAttribution) {

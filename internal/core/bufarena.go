@@ -71,6 +71,9 @@ func AcquireBuf(n int) []byte {
 		return make([]byte, n)
 	}
 	b := *arenaPools[c].Get().(*[]byte)
+	if debugChecks.Load() {
+		debugNoteAcquire(b)
+	}
 	return b[:n]
 }
 
@@ -79,14 +82,24 @@ func AcquireBuf(n int) []byte {
 // or happen to match a class); anything else — including nil and oversized
 // heap fallbacks — is silently left to the GC, so it is always safe to call.
 // The caller must not touch b afterwards.
+//
+// With debug checks on (LABSTOR_DEBUG=1, the labstor_debug tag, or
+// SetDebugChecks), the buffer is poisoned and a second release of the
+// same backing array panics instead of being absorbed by the pool.
 func ReleaseBuf(b []byte) {
 	c := cap(b)
 	if c < 1<<arenaMinBits || c > 1<<arenaMaxBits || c&(c-1) != 0 {
 		return
 	}
 	cls := arenaClass(c)
-	arenaReleases.Add(1)
 	b = b[:c]
+	if debugChecks.Load() {
+		if !debugNoteRelease(b) {
+			panic("core: ReleaseBuf double release")
+		}
+		poison(b)
+	}
+	arenaReleases.Add(1)
 	arenaPools[cls].Put(&b)
 }
 
@@ -115,10 +128,10 @@ func BufArenaStats() ArenaStats {
 
 // CompleteValue allocates the request's result buffer (r.Value) from the
 // arena and returns it. Drivers and stores use it for read completions whose
-// payload the caller did not supply a buffer for; Release returns the buffer
-// to the arena, which is why Release's contract requires results to be
-// copied out first.
+// payload the caller did not supply a buffer for. The buffer is a
+// stack-owned BufHandle (r.ValueH) homed on the request's origin node:
+// Release drops the request's reference, and clients that want to keep
+// the result zero-copy call TakeValue first (handle.go).
 func (r *Request) CompleteValue(n int) []byte {
-	r.Value = AcquireBuf(n)
-	return r.Value
+	return r.completeHandle(n)
 }

@@ -1,0 +1,7 @@
+//go:build labstor_debug
+
+package core
+
+// Building with -tags labstor_debug turns buffer poison/double-release
+// checking on from process start, before any init-ordered allocation.
+func init() { debugChecks.Store(true) }

@@ -40,16 +40,23 @@ func AcquireRequest(op Op) *Request {
 }
 
 // Release returns a completed request to the pool, recycling its result
-// buffer through the payload arena (Value buffers are arena-allocated by
-// CompleteValue; ReleaseBuf ignores foreign buffers). The caller must not
-// touch r afterwards. Never call Release on a request that is still queued,
-// executing, or being waited on.
+// buffer (the stack-owned ValueH handle when CompleteValue allocated one,
+// else the raw Value slice through the payload arena). The payload handle
+// (Buf) is borrowed and deliberately NOT released — its owner (client or
+// parent request) does that. The caller must not touch r afterwards.
+// Never call Release on a request that is still queued, executing, or
+// being waited on.
 func (r *Request) Release() {
 	poolPuts.Add(1)
-	if r.Value != nil {
+	if r.ValueH.Valid() {
+		r.ValueH.Release()
+		r.ValueH = BufHandle{}
+		r.Value = nil
+	} else if r.Value != nil {
 		ReleaseBuf(r.Value)
 		r.Value = nil
 	}
+	r.Buf = BufHandle{}
 	reqPool.Put(r)
 }
 

@@ -103,13 +103,19 @@ type Request struct {
 	Op Op
 
 	// Interface-specific operands; which fields are meaningful depends on Op.
-	Path     string // file path (relative to the stack mount)
-	Path2    string // rename target
-	FD       int    // file descriptor
-	Key      string // key-value key
-	Offset   int64  // file or device offset
-	Size     int    // requested length
-	Data     []byte // payload (write/put) or destination (read/get)
+	Path   string // file path (relative to the stack mount)
+	Path2  string // rename target
+	FD     int    // file descriptor
+	Key    string // key-value key
+	Offset int64  // file or device offset
+	Size   int    // requested length
+	Data   []byte // payload (write/put) or destination (read/get)
+	// Buf is the registered-buffer handle behind Data when the payload
+	// lives in an arena/segment buffer (zero-copy path). The request
+	// borrows it: client-acquired payload handles are released by the
+	// client, and views a parent cut from its own result (Slice) die with
+	// the parent. Mods consult Buf.Owned() to decide retain-vs-copy.
+	Buf      BufHandle
 	Flags    int
 	Mode     uint32
 	Cred     Cred // caller credentials for permission checking
@@ -133,13 +139,23 @@ type Request struct {
 
 	// Outcome.
 	Err    error
-	Result int64    // op-defined scalar result (bytes moved, fd, size, ...)
-	Value  []byte   // op-defined payload result (get/read-into-fresh)
+	Result int64  // op-defined scalar result (bytes moved, fd, size, ...)
+	Value  []byte // op-defined payload result (get/read-into-fresh)
+	// ValueH is the stack-owned handle behind Value (set by
+	// CompleteValue). The request owns one reference until Release; a
+	// client that wants the result zero-copy takes it over via TakeValue.
+	ValueH BufHandle
 	Names  []string // readdir / scan results
 
 	// OriginCore is the CPU core the request originated from (used by the
 	// NoOp scheduler's core-keyed queue mapping).
 	OriginCore int
+	// HomeNode is the NUMA node the request's payload memory is homed on
+	// (derived from the client's core by the connector; 0 on single-node
+	// topologies). CompleteValue allocates results on this node and the
+	// worker charges a vtime cross-node penalty when it differs from the
+	// worker's own node.
+	HomeNode int
 
 	done chan struct{}
 }
@@ -228,6 +244,7 @@ func (r *Request) Child(op Op) *Request {
 	c.Cred = r.Cred
 	c.Trace = r.Trace
 	c.OriginCore = r.OriginCore
+	c.HomeNode = r.HomeNode
 	c.Hctx = r.Hctx
 	return c
 }

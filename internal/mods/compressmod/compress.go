@@ -17,11 +17,20 @@ import (
 	"sync"
 
 	"labstor/internal/core"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
 // Type is the registered module type name.
 const Type = "labstor.compress"
+
+// Compression is the one stack boundary where copies are inherent: the
+// bytes genuinely change representation. Deflate output streams directly
+// into the frame/destination, so only the raw-fallback paths memcpy.
+var (
+	copyFrameRaw  = telemetry.CopySite("compress.frame_raw")
+	copyUnwrapRaw = telemetry.CopySite("compress.unwrap_raw")
+)
 
 func init() {
 	core.RegisterType(Type, func() core.Module { return &Compressor{} })
@@ -100,7 +109,7 @@ func (c *Compressor) processWrite(e *core.Exec, req *core.Request) error {
 		scratch = framed
 		framed[0] = flagRaw
 		binary.BigEndian.PutUint32(framed[1:frameHeader], uint32(len(orig)))
-		copy(framed[frameHeader:], orig)
+		copyFrameRaw.Add(copy(framed[frameHeader:], orig))
 	} else {
 		framed[0] = flagDeflate
 		binary.BigEndian.PutUint32(framed[1:frameHeader], uint32(buf.Len()-frameHeader))
@@ -114,10 +123,16 @@ func (c *Compressor) processWrite(e *core.Exec, req *core.Request) error {
 
 	req.Data = framed
 	req.Size = len(framed)
+	// Detach the payload handle while Data points at the frame: the frame
+	// is scratch, not the registered buffer, and downstream mods must not
+	// pair the handle with the wrong bytes.
+	origBuf := req.Buf
+	req.Buf = core.BufHandle{}
 	err = e.Next(req)
 	// Restore the caller's view of the payload.
 	req.Data = orig
 	req.Size = len(orig)
+	req.Buf = origBuf
 	core.ReleaseBuf(scratch)
 	if err == nil {
 		req.Result = int64(len(orig))
@@ -134,9 +149,15 @@ func (c *Compressor) processRead(e *core.Exec, req *core.Request) error {
 	defer core.ReleaseBuf(frame)
 	req.Data = frame
 	req.Size = len(frame)
+	// Detach handles while Data points at the frame scratch — a cache
+	// below must not retain the caller's destination as the page backing
+	// this (compressed) block.
+	origBuf, origVH := req.Buf, req.ValueH
+	req.Buf, req.ValueH = core.BufHandle{}, core.BufHandle{}
 	err := e.Next(req)
 	req.Data = dst
 	req.Size = want
+	req.Buf, req.ValueH = origBuf, origVH
 	if err != nil {
 		return err
 	}
@@ -147,24 +168,29 @@ func (c *Compressor) processRead(e *core.Exec, req *core.Request) error {
 	}
 	payload := frame[frameHeader : frameHeader+n]
 
-	var out []byte
+	if req.Data == nil {
+		req.Data = req.CompleteValue(want)
+	}
+	var copied int
 	switch flag {
 	case flagRaw:
-		out = payload
+		copied = copy(req.Data, payload)
+		copyUnwrapRaw.Add(copied)
 	case flagDeflate:
+		// Decompress straight into the destination — the transform's
+		// output lands in its final buffer with no intermediate copy.
 		req.Charge("decompress", e.Model.Compress(want)/2)
 		r := flate.NewReader(bytes.NewReader(payload))
-		out, err = io.ReadAll(r)
+		copied, err = io.ReadFull(r, req.Data[:want])
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			err = nil // short logical tail: the frame held fewer bytes
+		}
 		if err != nil {
 			return fmt.Errorf("compressmod: decompress at offset %d: %w", req.Offset, err)
 		}
 	default:
 		return fmt.Errorf("compressmod: unknown frame flag %d at offset %d", flag, req.Offset)
 	}
-	if req.Data == nil {
-		req.Data = make([]byte, want)
-	}
-	copied := copy(req.Data, out)
 	req.Result = int64(copied)
 	return nil
 }

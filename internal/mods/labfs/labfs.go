@@ -27,6 +27,15 @@ import (
 // Type is the registered module type name.
 const Type = "labstor.labfs"
 
+// Remaining data-path copy sites (telemetry copies/op audit): aligned
+// full-block reads and writes move zero bytes inside LabFS; only partial
+// blocks (bounce/RMW) and metadata-log staging still copy.
+var (
+	copyReadBounce = telemetry.CopySite("labfs.read_bounce")
+	copyRMWStage   = telemetry.CopySite("labfs.rmw_stage")
+	copyLogPad     = telemetry.CopySite("labfs.log_pad")
+)
+
 func init() {
 	core.RegisterType(Type, func() core.Module { return &LabFS{} })
 }
@@ -590,9 +599,12 @@ func (f *LabFS) write(e *core.Exec, req *core.Request) error {
 		child.Offset = phys * bs
 		var scratch []byte // arena block to release after the write
 		if inBlock == 0 && n == f.blockSize {
-			// Full-block write.
+			// Full-block write: the payload view flows down unstaged.
 			child.Size = f.blockSize
 			child.Data = data[written : written+n]
+			if req.Buf.Valid() && written+n <= req.Buf.Len() {
+				child.Buf = req.Buf.Slice(written, written+n)
+			}
 		} else {
 			// Partial block: read-modify-write through an arena scratch block.
 			scratch = core.AcquireBuf(f.blockSize)
@@ -617,12 +629,13 @@ func (f *LabFS) write(e *core.Exec, req *core.Request) error {
 					scratch[i] = 0
 				}
 			}
-			copy(scratch[inBlock:], data[written:written+n])
+			copyRMWStage.Add(copy(scratch[inBlock:], data[written:written+n]))
 			child.Size = f.blockSize
 			child.Data = scratch
 		}
 		err := e.Next(child)
 		child.Data = nil
+		child.Buf = core.BufHandle{}
 		core.ReleaseBuf(scratch)
 		if err != nil {
 			return err
@@ -656,9 +669,18 @@ func (f *LabFS) read(e *core.Exec, req *core.Request) error {
 		return req.Err
 	}
 	if req.Data == nil {
-		req.Data = make([]byte, req.Size)
+		// Stack-owned arena result: block reads land in it directly and
+		// it transfers to the client at completion (TakeValue).
+		req.Data = req.CompleteValue(req.Size)
 	}
 	data := req.Data
+	// dstH is the handle behind data, used to cut per-block views for
+	// downstream retention: the request's own result handle (stack-owned,
+	// caches may retain) or the client's registered buffer (borrowed).
+	dstH := req.ValueH
+	if !dstH.Valid() {
+		dstH = req.Buf
+	}
 	if int64(len(data)) > 0 && req.Offset >= ino.Size {
 		req.Result = 0
 		return nil
@@ -670,8 +692,7 @@ func (f *LabFS) read(e *core.Exec, req *core.Request) error {
 	bs := int64(f.blockSize)
 	base := req.Clock
 	read := int64(0)
-	blockBuf := core.AcquireBuf(f.blockSize)
-	defer core.ReleaseBuf(blockBuf)
+	var blockBuf []byte // bounce scratch, lazily acquired for partial blocks
 	for read < want {
 		idx := (req.Offset + read) / bs
 		inBlock := int((req.Offset + read) % bs)
@@ -692,15 +713,37 @@ func (f *LabFS) read(e *core.Exec, req *core.Request) error {
 		child.Clock = base
 		child.Offset = phys * bs
 		child.Size = f.blockSize
-		child.Data = blockBuf
+		direct := inBlock == 0 && n == int64(f.blockSize)
+		if direct {
+			// Block-aligned span: read straight into the destination.
+			child.Data = data[read : read+n]
+			if dstH.Valid() && read+n <= int64(dstH.Len()) {
+				child.Buf = dstH.Slice(int(read), int(read+n))
+			}
+		} else {
+			if blockBuf == nil {
+				blockBuf = core.AcquireBuf(f.blockSize)
+			}
+			child.Data = blockBuf
+		}
 		err := e.Next(child)
 		child.Data = nil
+		child.Buf = core.BufHandle{}
 		if err != nil {
+			if blockBuf != nil {
+				core.ReleaseBuf(blockBuf)
+			}
 			return err
 		}
 		req.Absorb(child)
-		copy(data[read:read+n], blockBuf[inBlock:inBlock+int(n)])
+		if !direct {
+			copyReadBounce.Add(int(n))
+			copy(data[read:read+n], blockBuf[inBlock:inBlock+int(n)])
+		}
 		read += n
+	}
+	if blockBuf != nil {
+		core.ReleaseBuf(blockBuf)
 	}
 	f.statsMu.Lock()
 	f.reads++

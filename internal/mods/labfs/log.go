@@ -238,6 +238,7 @@ func (l *metaLog) Replay(e *core.Exec, parent *core.Request) ([]logEntry, error)
 func padBlock(b []byte, size int) []byte {
 	out := core.AcquireBuf(size)
 	n := copy(out, b)
+	copyLogPad.Add(n)
 	tail := out[n:]
 	for i := range tail {
 		tail[i] = 0

@@ -24,6 +24,15 @@ import (
 // Type is the registered module type name.
 const Type = "labstor.labkvs"
 
+// Remaining data-path copy sites (telemetry copies/op audit): full-block
+// puts/gets move zero bytes in this module; only block tails and the
+// metadata log still stage.
+var (
+	copyStageTail  = telemetry.CopySite("labkvs.put_stage_tail")
+	copyGatherTail = telemetry.CopySite("labkvs.get_gather_tail")
+	copyLogStage   = telemetry.CopySite("labkvs.log_stage")
+)
+
 func init() {
 	core.RegisterType(Type, func() core.Module { return &LabKVS{} })
 }
@@ -230,19 +239,33 @@ func (k *LabKVS) put(e *core.Exec, req *core.Request) error {
 		child.Offset = phys * int64(k.blockSize)
 		lo := i * k.blockSize
 		hi := lo + k.blockSize
-		if hi > len(data) {
-			hi = len(data)
-		}
-		buf := core.AcquireBuf(k.blockSize)
-		n := copy(buf, data[lo:hi])
-		for i := n; i < len(buf); i++ {
-			buf[i] = 0 // zero the block tail (arena buffers come back dirty)
-		}
 		child.Size = k.blockSize
-		child.Data = buf
+		var staged []byte
+		if hi <= len(data) {
+			// Full block: pass the payload slice straight down — the
+			// borrowed view goes device-ward with zero staging copies.
+			child.Data = data[lo:hi]
+			if req.Buf.Valid() {
+				child.Buf = req.Buf.Slice(lo, hi)
+			}
+		} else {
+			// Tail block: stage into a zero-padded scratch block (the
+			// device writes whole blocks; arena buffers come back dirty).
+			hi = len(data)
+			staged = core.AcquireBuf(k.blockSize)
+			n := copy(staged, data[lo:hi])
+			copyStageTail.Add(n)
+			for j := n; j < len(staged); j++ {
+				staged[j] = 0
+			}
+			child.Data = staged
+		}
 		err := e.Next(child)
 		child.Data = nil
-		core.ReleaseBuf(buf)
+		child.Buf = core.BufHandle{}
+		if staged != nil {
+			core.ReleaseBuf(staged)
+		}
 		if err != nil {
 			return err
 		}
@@ -276,30 +299,55 @@ func (k *LabKVS) get(e *core.Exec, req *core.Request) error {
 		req.Err = fmt.Errorf("%w: %q", ErrNoKey, req.Key)
 		return req.Err
 	}
-	// Arena-backed result buffer: recycled when the caller Releases the
-	// request. Every byte of out is written by the copy loop below.
+	// Arena-backed result handle: block reads land directly in the result
+	// buffer (no per-block bounce), and downstream caches may retain the
+	// stack-owned views instead of copying. Recycled when the last holder
+	// releases.
 	out := req.CompleteValue(rec.Size)
 	base := req.Clock
-	buf := core.AcquireBuf(k.blockSize)
-	defer core.ReleaseBuf(buf)
+	var scratch []byte
 	for i, phys := range rec.Blocks {
 		child := req.Child(core.OpBlockRead)
 		child.Clock = base
 		child.Offset = phys * int64(k.blockSize)
 		child.Size = k.blockSize
-		child.Data = buf
+		lo := i * k.blockSize
+		hi := lo + k.blockSize
+		switch {
+		case hi <= rec.Size:
+			// Full block: read straight into the result view.
+			child.Data = out[lo:hi]
+			child.Buf = req.ValueH.Slice(lo, hi)
+		case lo+k.blockSize <= cap(out):
+			// Tail block, but the result buffer's class capacity has room
+			// for the full device block — still a direct read.
+			child.Data = out[lo : lo+k.blockSize]
+		default:
+			// Tail block with no slack (heap-fallback sizes): bounce
+			// through scratch and copy the live prefix.
+			if scratch == nil {
+				scratch = core.AcquireBuf(k.blockSize)
+			}
+			child.Data = scratch
+		}
 		err := e.Next(child)
 		child.Data = nil
+		child.Buf = core.BufHandle{}
 		if err != nil {
+			if scratch != nil {
+				core.ReleaseBuf(scratch)
+			}
 			return err
 		}
 		req.Absorb(child)
-		lo := i * k.blockSize
-		hi := lo + k.blockSize
-		if hi > rec.Size {
+		if scratch != nil && hi > rec.Size {
 			hi = rec.Size
+			copyGatherTail.Add(hi - lo)
+			copy(out[lo:hi], scratch[:hi-lo])
 		}
-		copy(out[lo:hi], buf[:hi-lo])
+	}
+	if scratch != nil {
+		core.ReleaseBuf(scratch)
 	}
 	req.Result = int64(rec.Size)
 	k.gets.inc()
@@ -366,7 +414,7 @@ func (k *LabKVS) logAppend(e *core.Exec, req *core.Request, rec *record) error {
 	var at int64 = -1
 	if len(k.logBuf)+len(line) > k.blockSize {
 		full = make([]byte, k.blockSize)
-		copy(full, k.logBuf)
+		copyLogStage.Add(copy(full, k.logBuf))
 		at = k.logHead
 		k.logHead++
 		if k.logHead >= k.logBlocks {
@@ -389,7 +437,7 @@ func (k *LabKVS) logAppend(e *core.Exec, req *core.Request, rec *record) error {
 func (k *LabKVS) flushLog(e *core.Exec, req *core.Request) error {
 	k.logMu.Lock()
 	blk := make([]byte, k.blockSize)
-	copy(blk, k.logBuf)
+	copyLogStage.Add(copy(blk, k.logBuf))
 	at := k.logHead
 	k.logMu.Unlock()
 	child := req.Child(core.OpBlockWrite)

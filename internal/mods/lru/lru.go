@@ -2,6 +2,15 @@
 // write-through (or write-back) cache with least-recently-used eviction.
 // It is the "page cache" stage of the paper's Lab-All stack, whose data
 // copies account for ~17% of a 4KB request's time in the Fig. 4(a) anatomy.
+//
+// The read path is zero-copy (DESIGN.md §13): a cache miss whose fill
+// landed in a stack-owned buffer is retained by reference instead of
+// copied, and a hit with no caller destination hands out a retained view
+// of the page. The only remaining read-path copies are hit-into-caller-
+// buffer (the caller chose its destination) and fills from borrowed
+// client memory, which the cache may not retain. Writes always copy: the
+// payload is the client's registered buffer, and it may be rewritten the
+// moment the request completes.
 package lru
 
 import (
@@ -10,6 +19,7 @@ import (
 	"sync"
 
 	"labstor/internal/core"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -20,12 +30,33 @@ func init() {
 	core.RegisterType(Type, func() core.Module { return &Cache{} })
 }
 
-// page is one cached block.
+// Remaining copy sites on the cache paths (telemetry copies/op audit).
+var (
+	copyHitOut      = telemetry.CopySite("lru.hit_copy_out")
+	copyFill        = telemetry.CopySite("lru.fill_copy")
+	copyWriteInsert = telemetry.CopySite("lru.write_insert")
+	copyFlushSnap   = telemetry.CopySite("lru.flush_snapshot")
+)
+
+// page is one cached block. Handle-backed pages (h.Valid()) hold a
+// retained reference into the zero-copy arena; legacy pages own an arena
+// buffer outright.
 type page struct {
 	off   int64
 	data  []byte
+	h     core.BufHandle
 	dirty bool
 	elem  *list.Element
+}
+
+// release returns the page's buffer to wherever it came from.
+func (p *page) release() {
+	if p.h.Valid() {
+		p.h.Release()
+		p.h = core.BufHandle{}
+		return
+	}
+	core.ReleaseBuf(p.data)
 }
 
 // Cache is the LRU page-cache module instance.
@@ -90,21 +121,35 @@ func (c *Cache) Process(e *core.Exec, req *core.Request) error {
 }
 
 func (c *Cache) processRead(e *core.Exec, req *core.Request) error {
-	// Lookup + LRU maintenance + (on hit) copy out of the page.
-	req.Charge("cache", e.Model.LRUCacheOp+e.Model.Copy(req.Size))
+	// Lookup + LRU maintenance; data-movement charges land on the paths
+	// that actually move bytes.
+	req.Charge("cache", e.Model.LRUCacheOp)
 	if req.Size == c.pageSize && req.Offset%int64(c.pageSize) == 0 {
 		c.mu.Lock()
 		if p, ok := c.pages[req.Offset]; ok {
 			c.order.MoveToFront(p.elem)
 			c.hits++
-			if req.Data == nil {
-				req.Data = make([]byte, c.pageSize)
+			if req.Data == nil && p.h.Valid() {
+				// Zero-copy hit: hand the caller a retained view of the
+				// page. The refcount keeps the bytes stable even if the
+				// page is replaced or evicted before the caller releases.
+				req.ValueH = p.h.Retain()
+				c.mu.Unlock()
+				req.Value = req.ValueH.Bytes()
+				req.Data = req.Value
+				req.Result = int64(c.pageSize)
+				return nil
 			}
-			// Copy out under the lock: page buffers are recycled through the
-			// arena on eviction/replacement, so p.data must not be read after
-			// the lock is dropped.
+			if req.Data == nil {
+				req.Data = req.CompleteValue(c.pageSize)
+			}
+			// Copy out under the lock: legacy page buffers are recycled
+			// through the arena on eviction/replacement, so p.data must
+			// not be read after the lock is dropped.
 			copy(req.Data, p.data)
 			c.mu.Unlock()
+			copyHitOut.Add(c.pageSize)
+			req.Charge("cache", e.Model.Copy(req.Size))
 			req.Result = int64(c.pageSize)
 			return nil
 		}
@@ -113,13 +158,7 @@ func (c *Cache) processRead(e *core.Exec, req *core.Request) error {
 		if err := e.Next(req); err != nil {
 			return err
 		}
-		data := req.Data
-		if data == nil {
-			data = req.Value
-		}
-		if data != nil {
-			c.insert(req.Offset, data, false)
-		}
+		c.insertFill(e, req)
 		return nil
 	}
 	// Unaligned access: bypass the cache.
@@ -129,12 +168,48 @@ func (c *Cache) processRead(e *core.Exec, req *core.Request) error {
 	return e.Next(req)
 }
 
+// insertFill caches the result of a read miss. Stack-owned fills (the
+// request's own result handle, or a stack-owned destination view cut by a
+// parent request) are retained in place — no copy; borrowed client
+// destinations are copied, because the client may rewrite its registered
+// buffer the moment the request completes.
+func (c *Cache) insertFill(e *core.Exec, req *core.Request) {
+	var h core.BufHandle
+	switch {
+	case req.Buf.Valid() && req.Buf.Owned() && req.Buf.Len() == c.pageSize:
+		h = req.Buf.Retain()
+	case req.ValueH.Valid() && req.ValueH.Len() == c.pageSize:
+		h = req.ValueH.Retain()
+	}
+	if h.Valid() {
+		c.insertPage(&page{off: req.Offset, data: h.Bytes(), h: h})
+		return
+	}
+	data := req.Data
+	if data == nil {
+		data = req.Value
+	}
+	if data == nil {
+		return
+	}
+	copyFill.Add(len(data))
+	req.Charge("cache", e.Model.Copy(len(data)))
+	cp := core.AcquireBuf(len(data))
+	copy(cp, data)
+	c.insertPage(&page{off: req.Offset, data: cp})
+}
+
 func (c *Cache) processWrite(e *core.Exec, req *core.Request) error {
-	// Page allocation + copy into the cache.
+	// Page allocation + copy into the cache: the write payload is borrowed
+	// from the client's registered buffer, so the cache must take its own
+	// copy (DESIGN.md §13 — write payloads may never be retained).
 	req.Charge("cache", e.Model.LRUCacheOp+e.Model.Copy(req.Size))
 	aligned := req.Size == c.pageSize && req.Offset%int64(c.pageSize) == 0
 	if aligned {
-		c.insert(req.Offset, req.Data, c.policy == "writeback")
+		copyWriteInsert.Add(req.Size)
+		cp := core.AcquireBuf(len(req.Data))
+		copy(cp, req.Data)
+		c.insertPage(&page{off: req.Offset, data: cp, dirty: c.policy == "writeback"})
 		if c.policy == "writeback" {
 			req.Result = int64(req.Size)
 			return nil // absorbed; flushed on eviction or OpBlockFlush
@@ -148,19 +223,27 @@ func (c *Cache) processFlush(e *core.Exec, req *core.Request) error {
 	if c.policy != "writeback" {
 		return e.Next(req)
 	}
-	// Write back every dirty page downstream. Page contents are snapshotted
-	// under the lock: a concurrent insert may replace a page's buffer and
-	// recycle the old one through the arena, so p.data cannot be handed to
-	// the downstream write directly.
+	// Write back every dirty page downstream. Handle-backed pages are
+	// pinned by retaining them — a concurrent replacement releases its own
+	// reference but cannot recycle ours. Legacy pages are snapshotted by
+	// copy, since their buffer goes straight back to the arena when
+	// replaced.
 	type flushPage struct {
 		off  int64
 		data []byte
+		h    core.BufHandle
 	}
 	c.mu.Lock()
 	dirty := make([]flushPage, 0)
 	for _, p := range c.pages {
 		if p.dirty {
 			p.dirty = false
+			if p.h.Valid() {
+				h := p.h.Retain()
+				dirty = append(dirty, flushPage{off: p.off, data: h.Bytes(), h: h})
+				continue
+			}
+			copyFlushSnap.Add(len(p.data))
 			cp := core.AcquireBuf(len(p.data))
 			copy(cp, p.data)
 			dirty = append(dirty, flushPage{off: p.off, data: cp})
@@ -174,7 +257,11 @@ func (c *Cache) processFlush(e *core.Exec, req *core.Request) error {
 		child.Data = fp.data
 		err := e.SpawnNext(req, child)
 		child.Data = nil
-		core.ReleaseBuf(fp.data)
+		if fp.h.Valid() {
+			fp.h.Release()
+		} else {
+			core.ReleaseBuf(fp.data)
+		}
 		if err != nil {
 			return err
 		}
@@ -182,28 +269,25 @@ func (c *Cache) processFlush(e *core.Exec, req *core.Request) error {
 	return e.Next(req)
 }
 
-// insert adds/updates a page and evicts LRU pages beyond capacity. Evicted
-// dirty pages are lost unless flushed first — writeback callers must flush;
-// the functional tests cover this contract. Page buffers are drawn from the
-// payload arena (the cache-miss path is the steady-state allocation site)
-// and returned to it on replacement and eviction.
-func (c *Cache) insert(off int64, data []byte, dirty bool) {
-	cp := core.AcquireBuf(len(data))
-	copy(cp, data)
+// insertPage adds/updates a page and evicts LRU pages beyond capacity.
+// Evicted dirty pages are lost unless flushed first — writeback callers
+// must flush; the functional tests cover this contract. The page's buffer
+// is owned by the cache from here on: a retained handle reference, or an
+// arena buffer returned on replacement/eviction.
+func (c *Cache) insertPage(np *page) {
 	c.mu.Lock()
-	if p, ok := c.pages[off]; ok {
-		old := p.data
-		p.data = cp
-		p.dirty = p.dirty || dirty
+	if p, ok := c.pages[np.off]; ok {
+		old := *p
+		p.data, p.h = np.data, np.h
+		p.dirty = p.dirty || np.dirty
 		c.order.MoveToFront(p.elem)
 		c.mu.Unlock()
-		core.ReleaseBuf(old)
+		old.release()
 		return
 	}
-	p := &page{off: off, data: cp, dirty: dirty}
-	p.elem = c.order.PushFront(p)
-	c.pages[off] = p
-	var evicted [][]byte
+	np.elem = c.order.PushFront(np)
+	c.pages[np.off] = np
+	var evicted []*page
 	for len(c.pages) > c.capacity {
 		tail := c.order.Back()
 		if tail == nil {
@@ -212,11 +296,11 @@ func (c *Cache) insert(off int64, data []byte, dirty bool) {
 		victim := tail.Value.(*page)
 		c.order.Remove(tail)
 		delete(c.pages, victim.off)
-		evicted = append(evicted, victim.data)
+		evicted = append(evicted, victim)
 	}
 	c.mu.Unlock()
-	for _, b := range evicted {
-		core.ReleaseBuf(b)
+	for _, p := range evicted {
+		p.release()
 	}
 }
 
@@ -241,7 +325,9 @@ func (c *Cache) DirtyPages() int {
 }
 
 // StateUpdate migrates the cached pages from the previous instance (live
-// upgrade keeps the cache warm).
+// upgrade keeps the cache warm). Buffer ownership — handle references and
+// arena buffers alike — transfers to the new instance; the old one is
+// discarded without releasing.
 func (c *Cache) StateUpdate(prev core.Module) error {
 	old, ok := prev.(*Cache)
 	if !ok {
@@ -253,7 +339,7 @@ func (c *Cache) StateUpdate(prev core.Module) error {
 	defer c.mu.Unlock()
 	for e := old.order.Back(); e != nil; e = e.Prev() {
 		p := e.Value.(*page)
-		np := &page{off: p.off, data: p.data, dirty: p.dirty}
+		np := &page{off: p.off, data: p.data, h: p.h, dirty: p.dirty}
 		np.elem = c.order.PushFront(np)
 		c.pages[np.off] = np
 	}

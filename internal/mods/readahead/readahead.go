@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"labstor/internal/core"
+	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
 
@@ -25,6 +26,11 @@ const Type = "labstor.readahead"
 func init() {
 	core.RegisterType(Type, func() core.Module { return &Prefetcher{} })
 }
+
+// copyHitOut fires only when a hit must land in a caller-chosen
+// destination; hits with no destination transfer the prefetched buffer
+// by handle ownership — zero copies.
+var copyHitOut = telemetry.CopySite("readahead.hit_copy_out")
 
 // Prefetcher is the readahead module instance.
 type Prefetcher struct {
@@ -38,8 +44,10 @@ type Prefetcher struct {
 	// streak tracks the current sequential run length per predicted next
 	// offset.
 	streak map[int64]int
-	// buf holds prefetched blocks by device offset.
-	buf      map[int64][]byte
+	// buf holds prefetched blocks by device offset. Each entry owns one
+	// handle reference; a hit either moves the handle to the request
+	// (zero-copy) or copies and releases it.
+	buf      map[int64]core.BufHandle
 	capacity int
 
 	hits       int64
@@ -75,7 +83,7 @@ func (p *Prefetcher) Configure(cfg core.Config, env *core.Env) error {
 		p.capacity = p.window
 	}
 	p.streak = make(map[int64]int)
-	p.buf = make(map[int64][]byte)
+	p.buf = make(map[int64]core.BufHandle)
 	return nil
 }
 
@@ -88,7 +96,10 @@ func (p *Prefetcher) Process(e *core.Exec, req *core.Request) error {
 		// Writes invalidate overlapping prefetched blocks.
 		p.mu.Lock()
 		for off := req.Offset - req.Offset%int64(p.blockSize); off < req.Offset+int64(req.Size); off += int64(p.blockSize) {
-			delete(p.buf, off)
+			if h, ok := p.buf[off]; ok {
+				delete(p.buf, off)
+				h.Release()
+			}
 		}
 		p.mu.Unlock()
 		return e.Next(req)
@@ -103,15 +114,22 @@ func (p *Prefetcher) Process(e *core.Exec, req *core.Request) error {
 
 	// Served from the prefetch buffer?
 	p.mu.Lock()
-	if data, ok := p.buf[req.Offset]; ok {
+	if h, ok := p.buf[req.Offset]; ok {
 		delete(p.buf, req.Offset) // single use; the cache above retains it
 		p.hits++
 		p.mu.Unlock()
-		req.Charge("readahead", e.Model.Copy(req.Size))
 		if req.Data == nil {
-			req.Data = make([]byte, p.blockSize)
+			// Ownership transfer: the prefetched buffer becomes the
+			// request's result outright — no copy, no charge.
+			req.ValueH = h
+			req.Value = h.Bytes()
+			req.Data = req.Value
+			req.Result = int64(p.blockSize)
+			return nil
 		}
-		copy(req.Data, data)
+		req.Charge("readahead", e.Model.Copy(req.Size))
+		copyHitOut.Add(copy(req.Data, h.Bytes()))
+		h.Release()
 		req.Result = int64(p.blockSize)
 		return nil
 	}
@@ -149,13 +167,22 @@ func (p *Prefetcher) Process(e *core.Exec, req *core.Request) error {
 			child.Clock = base
 			child.Offset = off
 			child.Size = p.blockSize
-			child.Data = make([]byte, p.blockSize)
+			h := core.AcquireHandle(req.HomeNode, p.blockSize)
+			child.Data = h.Bytes()
+			child.Buf = h
 			if err := e.Next(child); err != nil {
+				h.Release()
 				return nil // prefetch failures are not request failures
 			}
+			child.Buf = core.BufHandle{}
 			req.CPUTime += child.CPUTime
 			p.mu.Lock()
-			p.buf[off] = child.Data
+			if _, dup := p.buf[off]; dup {
+				p.mu.Unlock()
+				h.Release()
+				continue
+			}
+			p.buf[off] = h
 			p.prefetches++
 			// Extend the detected run past the prefetched region.
 			p.streak[off+int64(p.blockSize)] = run + i

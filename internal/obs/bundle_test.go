@@ -272,17 +272,17 @@ func TestProfileEndpoint(t *testing.T) {
 	rt, cli, addr := bootServedRuntime(t, false)
 	submitN(t, cli, "fs::/s", core.OpWrite, "f", 300, true)
 
-	var attr []telemetry.StackAttribution
+	var resp obs.ProfileResponse
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		code, body := get(t, addr, "/profile")
 		if code != http.StatusOK {
 			t.Fatalf("/profile: code %d", code)
 		}
-		if err := json.Unmarshal([]byte(body), &attr); err != nil {
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
 			t.Fatalf("/profile: %v", err)
 		}
-		if len(attr) == 1 && attr[0].Requests == 300 {
+		if len(resp.Stacks) == 1 && resp.Stacks[0].Requests == 300 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -290,7 +290,16 @@ func TestProfileEndpoint(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	sa := attr[0]
+	// 300 writes drove the data path, so the copy audit cannot be empty
+	// (at minimum the device DMA site fired).
+	var copies int64
+	for _, c := range resp.CopySites {
+		copies += c.Count
+	}
+	if copies == 0 {
+		t.Fatal("/profile copy_sites recorded no copies after 300 writes")
+	}
+	sa := resp.Stacks[0]
 	if sum := sa.QueueWaitPct + sa.CPUPct + sa.DevicePct; math.Abs(sum-100) > 0.01 {
 		t.Fatalf("/profile coarse shares sum to %.3f%%", sum)
 	}

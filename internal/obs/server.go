@@ -246,15 +246,29 @@ func (s *Server) handleTracesExport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleProfile serves the per-stack latency-attribution tables: where does
-// each stack's latency go (queue wait vs CPU vs device), per op and — from
-// sampled spans — per stage.
+// ProfileResponse is the /profile payload: per-stack latency attribution
+// plus the data path's per-site copy accounting (the zero-copy audit).
+type ProfileResponse struct {
+	Stacks    []telemetry.StackAttribution `json:"stacks"`
+	CopySites []telemetry.CopySiteStat     `json:"copy_sites"`
+}
+
+// handleProfile serves the per-stack latency-attribution tables — where
+// each stack's latency goes (queue wait vs CPU vs device), per op and per
+// sampled stage — alongside the copy-site counters, so one scrape answers
+// both "where does time go" and "where do bytes still get copied".
 func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
-	attr := s.rt.Attribution()
-	if attr == nil {
-		attr = []telemetry.StackAttribution{}
+	resp := ProfileResponse{
+		Stacks:    s.rt.Attribution(),
+		CopySites: telemetry.CopySiteStats(),
 	}
-	writeJSON(w, attr)
+	if resp.Stacks == nil {
+		resp.Stacks = []telemetry.StackAttribution{}
+	}
+	if resp.CopySites == nil {
+		resp.CopySites = []telemetry.CopySiteStat{}
+	}
+	writeJSON(w, resp)
 }
 
 // handleBundles lists the incident bundles captured so far.

@@ -89,13 +89,27 @@ func (rt *Runtime) Connect(cred ipc.Credentials) *Client {
 	rt.clients[id] = c
 	rt.mu.Unlock()
 
-	// Grant the client its shared segment and hand the queue to the
+	// Grant the client its shared segment, label the queue with the client's
+	// NUMA node (locality-aware placement key), and hand it to the
 	// orchestrator for assignment.
 	seg := rt.Env.Segments.Allocate(fmt.Sprintf("qp-%d", qp.ID), 1<<16, cred)
-	seg.Grant(cred.PID)
+	_ = seg.Grant(cred.PID)
+	qp.Node = rt.numaNode(c.OriginCore)
 	rt.orch.AddQueue(qp)
 	return c
 }
+
+// AcquireBuffer returns a registered payload buffer of length n homed on the
+// client's NUMA node — the io_uring register-buffers analogue. Attach it to
+// a request with req.SetPayload; the client owns the handle and must Release
+// it once the request (and any use of the bytes) is finished. The stack
+// reads/writes the buffer in place: no copy at the IPC boundary.
+func (c *Client) AcquireBuffer(n int) (core.BufHandle, error) {
+	return c.rt.BufArena().Acquire(c.rt.numaNode(c.OriginCore), n)
+}
+
+// ReleaseBuffer returns an AcquireBuffer handle to the arena.
+func (c *Client) ReleaseBuffer(b core.BufHandle) { b.Release() }
 
 // Clone implements the fork/clone support path (paper §III-F): the child
 // process gets its own connection — fresh credentials PID, a fresh
@@ -164,6 +178,7 @@ func (c *Client) SubmitStack(s *core.Stack, req *core.Request) error {
 	req.StackID = s.ID
 	req.Cred = core.Cred{UID: c.cred.UID, GID: c.cred.GID}
 	req.OriginCore = c.OriginCore
+	req.HomeNode = c.rt.numaNode(c.OriginCore)
 	now := c.clock.Now()
 	req.Arrival = now
 	req.Clock = now
@@ -216,6 +231,7 @@ func (c *Client) SubmitStackAsync(s *core.Stack, req *core.Request) error {
 	req.StackID = s.ID
 	req.Cred = core.Cred{UID: c.cred.UID, GID: c.cred.GID}
 	req.OriginCore = c.OriginCore
+	req.HomeNode = c.rt.numaNode(c.OriginCore)
 	now := c.clock.Now()
 	req.Arrival = now
 	req.Clock = now
@@ -257,10 +273,12 @@ func (c *Client) SubmitBatch(s *core.Stack, reqs []*core.Request) error {
 	}
 	now := c.clock.Now()
 	queueOp := c.rt.opts.Model.QueueOp
+	home := c.rt.numaNode(c.OriginCore)
 	for _, req := range reqs {
 		req.StackID = s.ID
 		req.Cred = core.Cred{UID: c.cred.UID, GID: c.cred.GID}
 		req.OriginCore = c.OriginCore
+		req.HomeNode = home
 		req.Arrival = now
 		req.Clock = now
 		req.Charge("queue", queueOp)

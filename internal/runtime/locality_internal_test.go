@@ -1,0 +1,50 @@
+package runtime
+
+import "testing"
+
+// With bias off, packLPT is pure least-loaded; with a strong bias every
+// queue must land on a sack whose worker shares its node.
+func TestPackLPTLocalityBias(t *testing.T) {
+	qs := []*QP{{ID: 1, Node: 0}, {ID: 2, Node: 1}, {ID: 3, Node: 0}, {ID: 4, Node: 1}}
+	loads := map[int]float64{1: 1, 2: 1, 3: 1, 4: 1}
+	nodes := []int{0, 1}
+
+	sacks := make([][]*QP, 2)
+	local, remote := packLPT(qs, loads, sacks, nodes, 0)
+	if local+remote != 4 {
+		t.Fatalf("placed %d queues, want 4", local+remote)
+	}
+	if len(sacks[0]) != 2 || len(sacks[1]) != 2 {
+		t.Fatalf("bias=0 must stay load-balanced: %d/%d", len(sacks[0]), len(sacks[1]))
+	}
+
+	sacks = make([][]*QP, 2)
+	local, remote = packLPT(qs, loads, sacks, nodes, 10)
+	if remote != 0 || local != 4 {
+		t.Fatalf("strong bias: local=%d remote=%d, want 4/0", local, remote)
+	}
+	for i, sack := range sacks {
+		for _, q := range sack {
+			if q.Node != nodes[i] {
+				t.Fatalf("queue %d (node %d) landed on sack %d (node %d)", q.ID, q.Node, i, nodes[i])
+			}
+		}
+	}
+}
+
+// A weak bias must not override a large load imbalance: when one queue
+// dwarfs the rest, spreading for load still wins over locality.
+func TestPackLPTWeakBiasKeepsLoadBalance(t *testing.T) {
+	qs := []*QP{{ID: 1, Node: 0}, {ID: 2, Node: 0}, {ID: 3, Node: 0}, {ID: 4, Node: 0}}
+	loads := map[int]float64{1: 100, 2: 1, 3: 1, 4: 1}
+	nodes := []int{0, 1}
+
+	sacks := make([][]*QP, 2)
+	_, remote := packLPT(qs, loads, sacks, nodes, 0.5)
+	if remote == 0 {
+		t.Fatal("weak bias pinned every node-0 queue behind the hot one; load balancing must win")
+	}
+	if len(sacks[0]) == 4 || len(sacks[1]) == 4 {
+		t.Fatalf("one sack took everything: %d/%d", len(sacks[0]), len(sacks[1]))
+	}
+}

@@ -1,0 +1,239 @@
+package runtime_test
+
+import (
+	"bytes"
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	_ "labstor/internal/mods/allmods"
+	"labstor/internal/runtime"
+	"labstor/internal/spec"
+	"labstor/internal/telemetry"
+	"labstor/internal/vtime"
+)
+
+const numaBlockStack = `
+mount: blk::/b
+mods:
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: nvme0
+`
+
+func newNUMARuntime(t *testing.T, workers int, locality float64) *runtime.Runtime {
+	t.Helper()
+	model := vtime.Default()
+	model.NUMA = vtime.DefaultNUMA(2)
+	rt := runtime.New(runtime.Options{
+		MaxWorkers:     workers,
+		Policy:         "round_robin",
+		Model:          model,
+		LocalityWeight: locality,
+	})
+	rt.AddDevice(device.New("nvme0", device.NVMe, 64<<20))
+	if _, err := rt.MountSpec(numaBlockStack); err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func submitBlockWrites(t *testing.T, cli *runtime.Client, n int) {
+	t.Helper()
+	buf := make([]byte, 4096)
+	for i := 0; i < n; i++ {
+		if _, err := cli.Call("blk::/b", core.OpBlockWrite, func(r *core.Request) {
+			r.Offset = int64(i) * 4096
+			r.Size = len(buf)
+			r.Data = buf
+		}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+}
+
+// A payload homed on node 1 processed by the only worker (node 0) must be
+// charged the modeled cross-NUMA transfer on every request.
+func TestNUMAChargeCrossNodePayload(t *testing.T) {
+	rt := newNUMARuntime(t, 1, 0)
+	cli := rt.Connect(ipc.Credentials{PID: 1}) // client id 1 -> node 1
+	const ops = 50
+	submitBlockWrites(t, cli, ops)
+
+	cross := rt.Metrics().Counter("numa.cross_bytes").Value()
+	local := rt.Metrics().Counter("numa.local_bytes").Value()
+	if cross != ops*4096 {
+		t.Fatalf("cross_bytes = %d, want %d", cross, ops*4096)
+	}
+	if local != 0 {
+		t.Fatalf("local_bytes = %d, want 0", local)
+	}
+	if ns := rt.Metrics().Counter("numa.cross_ns").Value(); ns <= 0 {
+		t.Fatalf("cross_ns = %d, want > 0", ns)
+	}
+}
+
+// Without a NUMA model (the default single-node topology) no cross-node
+// charge may ever appear — the zero-copy fast path stays byte-identical.
+func TestNoNUMAChargeOnSingleNode(t *testing.T) {
+	rt := runtime.New(runtime.Options{MaxWorkers: 2})
+	rt.AddDevice(device.New("nvme0", device.NVMe, 64<<20))
+	if _, err := rt.MountSpec(numaBlockStack); err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Shutdown)
+	cli := rt.Connect(ipc.Credentials{PID: 1})
+	submitBlockWrites(t, cli, 20)
+	if v := rt.Metrics().Counter("numa.cross_bytes").Value(); v != 0 {
+		t.Fatalf("cross_bytes = %d on single-node model", v)
+	}
+	if v := rt.Metrics().Counter("numa.cross_ns").Value(); v != 0 {
+		t.Fatalf("cross_ns = %d on single-node model", v)
+	}
+}
+
+// Four clients on alternating nodes against four workers on alternating
+// nodes: node-blind round-robin pairs every queue with an off-node worker,
+// locality-aware placement pairs every queue with a node-local one.
+func TestLocalityPlacementEliminatesCrossTraffic(t *testing.T) {
+	run := func(locality float64) (cross, local int64) {
+		rt := newNUMARuntime(t, 4, locality)
+		for c := 0; c < 4; c++ {
+			cli := rt.Connect(ipc.Credentials{PID: 100 + c})
+			submitBlockWrites(t, cli, 25)
+		}
+		return rt.Metrics().Counter("numa.cross_bytes").Value(),
+			rt.Metrics().Counter("numa.local_bytes").Value()
+	}
+	cross, local := run(0)
+	if cross == 0 {
+		t.Fatalf("node-blind RR produced no cross traffic (local=%d)", local)
+	}
+	cross, local = run(2.0)
+	if cross != 0 {
+		t.Fatalf("locality-aware RR still crossed the socket: cross=%d local=%d", cross, local)
+	}
+	if local == 0 {
+		t.Fatal("locality-aware RR recorded no local traffic")
+	}
+}
+
+// The numa: and orchestrator.locality_weight spec knobs must flow through
+// FromConfig into the cost model and placement options.
+func TestFromConfigNUMA(t *testing.T) {
+	cfg, err := spec.ParseRuntimeConfig(`
+runtime:
+  workers: 2
+orchestrator:
+  policy: round_robin
+  locality_weight: 1.5
+numa:
+  nodes: 2
+  cross_ns_per_byte: 0.5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := runtime.FromConfig(cfg)
+	if opts.LocalityWeight != 1.5 {
+		t.Fatalf("locality weight %v", opts.LocalityWeight)
+	}
+	if opts.Model == nil || opts.Model.NUMA == nil {
+		t.Fatal("NUMA model not built")
+	}
+	if opts.Model.NUMA.Nodes != 2 || opts.Model.NUMA.CrossPerByte != 0.5 {
+		t.Fatalf("NUMA model %+v", opts.Model.NUMA)
+	}
+}
+
+// End-to-end zero-copy read handout: a cached block read with no
+// destination buffer must hand out a retained view of the cache page (no
+// copy), and that view must stay stable even after the block is
+// overwritten and its page replaced.
+func TestBlockReadHandoutZeroCopy(t *testing.T) {
+	rt := runtime.New(runtime.Options{MaxWorkers: 2})
+	rt.AddDevice(device.New("nvme0", device.NVMe, 64<<20))
+	if _, err := rt.MountSpec(`
+mount: blk::/c
+mods:
+  - uuid: cache
+    type: labstor.lru
+    attrs:
+      capacity_mb: 1
+  - uuid: drv
+    type: labstor.kernel_driver
+    attrs:
+      device: nvme0
+`); err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Shutdown)
+	cli := rt.Connect(ipc.Credentials{PID: 1})
+
+	pat1 := bytes.Repeat([]byte{0xA1}, 4096)
+	pat2 := bytes.Repeat([]byte{0xB2}, 4096)
+	if _, err := cli.Call("blk::/c", core.OpBlockWrite, func(r *core.Request) {
+		r.Offset = 0
+		r.Size = 4096
+		r.Data = pat1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the write-inserted page (capacity 1 MiB = 256 pages) so the next
+	// read misses and the cache retains the driver-filled handle in place.
+	for i := 1; i <= 300; i++ {
+		if _, err := cli.Call("blk::/c", core.OpBlockRead, func(r *core.Request) {
+			r.Offset = int64(i) * 4096
+			r.Size = 4096
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd, err := cli.Call("blk::/c", core.OpBlockRead, func(r *core.Request) {
+		r.Offset = 0
+		r.Size = 4096
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rd.Value, pat1) {
+		t.Fatal("miss fill returned wrong bytes")
+	}
+
+	// Second read hits: the handout must not copy a single payload byte.
+	c0, _ := telemetry.CopyTotals()
+	rd2, err := cli.Call("blk::/c", core.OpBlockRead, func(r *core.Request) {
+		r.Offset = 0
+		r.Size = 4096
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1, _ := telemetry.CopyTotals(); c1 != c0 {
+		t.Fatalf("cached handout copied payload bytes (%d copy sites fired)", c1-c0)
+	}
+	held := rd2.TakeValue()
+	defer held.Release()
+	if !bytes.Equal(held.Bytes(), pat1) {
+		t.Fatal("handout returned wrong bytes")
+	}
+
+	// Overwrite the block: the cache replaces the page, but the held view is
+	// refcounted — it must keep showing the old bytes, not the new ones.
+	if _, err := cli.Call("blk::/c", core.OpBlockWrite, func(r *core.Request) {
+		r.Offset = 0
+		r.Size = 4096
+		r.Data = pat2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(held.Bytes(), pat1) {
+		t.Fatal("held view mutated by overwrite — refcount failed to pin the page")
+	}
+}

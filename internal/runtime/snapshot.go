@@ -56,6 +56,9 @@ type Snapshot struct {
 	// Attribution is the always-on per-stack latency-attribution table
 	// (absent when profiling is disabled).
 	Attribution []telemetry.StackAttribution `json:"attribution,omitempty"`
+	// CopySites is the per-site data-path copy accounting (zero-copy audit):
+	// every remaining memcpy on the payload path counts itself here.
+	CopySites []telemetry.CopySiteStat `json:"copy_sites,omitempty"`
 }
 
 // Snapshot collects the full telemetry tree from a running (or stopped)
@@ -78,6 +81,12 @@ func (rt *Runtime) Snapshot() *Snapshot {
 	rt.metrics.Gauge("bufarena.releases").Set(as.Releases)
 	rt.metrics.Gauge("bufarena.bytes").Set(as.Bytes)
 
+	// Registered-segment gauges (shared-memory footprint and grant count).
+	ss := rt.Env.Segments.Stats()
+	rt.metrics.Gauge("segments.count").Set(ss.Count)
+	rt.metrics.Gauge("segments.bytes").Set(ss.Bytes)
+	rt.metrics.Gauge("segments.grants").Set(ss.Grants)
+
 	snap := &Snapshot{
 		Workers: rt.Stats(),
 		Stages:  rt.PerfCounters(),
@@ -94,6 +103,7 @@ func (rt *Runtime) Snapshot() *Snapshot {
 		SLOs:        rt.SLOStatus(),
 		Events:      rt.events.Recent(),
 		Attribution: rt.Attribution(),
+		CopySites:   telemetry.CopySiteStats(),
 	}
 	sort.Slice(snap.Stages, func(i, j int) bool { return snap.Stages[i].Stage < snap.Stages[j].Stage })
 
@@ -192,6 +202,15 @@ func (s *Snapshot) String() string {
 			ht.AddRowf(k, h.Count, h.Mean, h.Min, h.P50, h.P90, h.P99, h.P999, h.Max)
 		}
 		b.WriteString(ht.String())
+	}
+
+	if len(s.CopySites) > 0 {
+		b.WriteString("\n== copy sites ==\n")
+		cs := &stats.Table{Header: []string{"site", "copies", "bytes"}}
+		for _, c := range s.CopySites {
+			cs.AddRowf(c.Site, c.Count, c.Bytes)
+		}
+		b.WriteString(cs.String())
 	}
 
 	if len(s.SLOs) > 0 {

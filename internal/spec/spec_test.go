@@ -461,3 +461,34 @@ func TestParseSingleQuotes(t *testing.T) {
 		t.Fatalf("%q", n.Str("k", ""))
 	}
 }
+
+func TestParseNUMAAndLocality(t *testing.T) {
+	cfg, err := ParseRuntimeConfig(`
+orchestrator:
+  policy: dynamic
+  locality_weight: 2.5
+numa:
+  nodes: 4
+  cross_ns_per_byte: 0.125
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Orchestrator.LocalityWeight != 2.5 {
+		t.Fatalf("locality_weight %v", cfg.Orchestrator.LocalityWeight)
+	}
+	if cfg.NUMA.Nodes != 4 || cfg.NUMA.CrossNsPerByte != 0.125 {
+		t.Fatalf("numa %+v", cfg.NUMA)
+	}
+	// Omitted sections stay off: single-node, no bias.
+	cfg, err = ParseRuntimeConfig("runtime:\n  workers: 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NUMA.Nodes != 0 || cfg.Orchestrator.LocalityWeight != 0 {
+		t.Fatalf("defaults %+v / %v", cfg.NUMA, cfg.Orchestrator.LocalityWeight)
+	}
+	if _, err := ParseRuntimeConfig("numa:\n  nodes: -2\n"); err == nil {
+		t.Fatal("negative numa.nodes accepted")
+	}
+}

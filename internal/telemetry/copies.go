@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// CopyCounter is a process-global counter for one data-path memcpy site.
+// The zero-copy work (PAPER Fig. 6: shared-memory queue pairs exist so
+// payloads never cross a boundary by copy) audits every remaining copy in
+// the stack; each site registers one CopyCounter at package init and does
+// a single atomic add per copy, so the accounting itself costs nothing
+// measurable on the hot path.
+//
+// Counters live in telemetry — not core — because both internal/core and
+// internal/device report copies, and core imports device (Env.Devices),
+// so device cannot import core without a cycle.
+type CopyCounter struct {
+	site  string
+	count atomic.Int64
+	bytes atomic.Int64
+}
+
+// Add records one copy of n bytes at this site.
+func (c *CopyCounter) Add(n int) {
+	c.count.Add(1)
+	c.bytes.Add(int64(n))
+}
+
+// Site returns the site name.
+func (c *CopyCounter) Site() string { return c.site }
+
+// Count returns how many copies this site has performed.
+func (c *CopyCounter) Count() int64 { return c.count.Load() }
+
+// Bytes returns how many bytes this site has copied.
+func (c *CopyCounter) Bytes() int64 { return c.bytes.Load() }
+
+var copySites struct {
+	mu   sync.Mutex
+	list []*CopyCounter
+	byID map[string]*CopyCounter
+}
+
+// CopySite registers (or returns the existing) counter for a named copy
+// site. Names are "package.site", e.g. "device.dma_read" or
+// "lru.hit_copy_out". Call once at package init and cache the pointer.
+func CopySite(name string) *CopyCounter {
+	copySites.mu.Lock()
+	defer copySites.mu.Unlock()
+	if copySites.byID == nil {
+		copySites.byID = make(map[string]*CopyCounter)
+	}
+	if c, ok := copySites.byID[name]; ok {
+		return c
+	}
+	c := &CopyCounter{site: name}
+	copySites.byID[name] = c
+	copySites.list = append(copySites.list, c)
+	return c
+}
+
+// CopySiteStat is a point-in-time reading of one copy site.
+type CopySiteStat struct {
+	Site  string `json:"site"`
+	Count int64  `json:"count"`
+	Bytes int64  `json:"bytes"`
+}
+
+// CopySiteStats snapshots every registered copy site, sorted by name.
+// Sites that have never fired are included so the set documents what is
+// instrumented.
+func CopySiteStats() []CopySiteStat {
+	copySites.mu.Lock()
+	list := make([]*CopyCounter, len(copySites.list))
+	copy(list, copySites.list)
+	copySites.mu.Unlock()
+	out := make([]CopySiteStat, 0, len(list))
+	for _, c := range list {
+		out = append(out, CopySiteStat{Site: c.site, Count: c.Count(), Bytes: c.Bytes()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// CopyTotals sums count and bytes across all sites. Benchmarks diff two
+// calls around a workload to compute copies/op.
+func CopyTotals() (count, bytes int64) {
+	for _, s := range CopySiteStats() {
+		count += s.Count
+		bytes += s.Bytes
+	}
+	return count, bytes
+}
