@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-hotpath bench-contention bench-zerocopy bench-observe bench-attribution bench-gate telemetry obs-smoke
+.PHONY: build test vet race check bench bench-hotpath bench-contention bench-zerocopy bench-observe bench-attribution bench-serve bench-gate telemetry obs-smoke serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,13 @@ bench-observe:
 bench-attribution:
 	$(GO) run ./cmd/labbench -exp attribution -json BENCH_attribution.json
 
+# bench-serve drives the network front end over real TCP loopback: the
+# concurrent-connection ladder (100/1000/4000) in direct and sharded-router
+# modes, per-tenant rate-limit enforcement and BUSY backpressure
+# (BENCH_serve.json).
+bench-serve:
+	$(GO) run ./cmd/labbench -exp serve -json BENCH_serve.json
+
 # bench-gate reruns the hotpath bench and warns (never fails) when batched
 # throughput regressed >10% vs the committed BENCH_hotpath.json.
 bench-gate:
@@ -60,6 +67,16 @@ bench-gate:
 # ephemeral port and asserts /metrics and /snapshot serve real payloads.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# serve-smoke boots labstor-runtime with the network front end on an
+# ephemeral port, drives RPCs through labctl, and asserts the serve.*
+# admission series appear on /metrics.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# fuzz smoke-runs the wire-protocol frame decoder fuzzer.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s ./internal/serve
 
 # telemetry runs the probe workload and dumps the runtime snapshot.
 telemetry:

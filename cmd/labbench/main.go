@@ -132,6 +132,13 @@ var catalog = []experiment{
 		}
 		return experiments.Attribution(ops)
 	}},
+	{"serve", "Network front end: connection ladder, tenant rate limits, shard routing", func(quick bool) (*experiments.Result, error) {
+		conns, ops := []int{100, 1000, 4000}, 50
+		if quick {
+			conns, ops = []int{100, 1000}, 20
+		}
+		return experiments.Serve(conns, ops)
+	}},
 }
 
 func main() {

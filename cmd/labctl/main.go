@@ -40,6 +40,7 @@ func init() {
 		{"stats", "[-json] <runtime.yaml> | -addr <host:port>", "probe a booted runtime (or scrape a live one) and dump the telemetry snapshot", cmdStats},
 		{"top", "[-interval 1s] [-count N] <host:port>", "refreshing terminal view of a live runtime's /snapshot", cmdTop},
 		{"profile", "[-json] <host:port>", "latency-attribution tables from a live runtime's /profile", cmdProfile},
+		{"serve", "-addr <host:port> [-tenant t] <ping|msg|put|get|del|has> [mount] [key] [value]", "one-shot RPC against a live serving front end", cmdServe},
 	}
 }
 
@@ -92,6 +93,13 @@ func cmdConfig(args []string) {
 		cfg.Workers, cfg.QueueDepth, cfg.Batch, cfg.Orchestrator.Policy, cfg.Orchestrator.RebalanceMs)
 	if cfg.Observe.Addr != "" {
 		fmt.Printf("observe: %s pprof=%v\n", cfg.Observe.Addr, cfg.Observe.Pprof)
+	}
+	if cfg.Serve.Addr != "" {
+		if len(cfg.Serve.Shards) > 0 {
+			fmt.Printf("serve: %s router shards=%v\n", cfg.Serve.Addr, cfg.Serve.Shards)
+		} else {
+			fmt.Printf("serve: %s batch=%d tenants=%d\n", cfg.Serve.Addr, cfg.Serve.Batch, len(cfg.Serve.Tenants))
+		}
 	}
 	for _, s := range cfg.SLOs {
 		fmt.Printf("slo: %s p99_us=%g max_err_rate=%g\n", s.Stack, s.P99Us, s.MaxErrRate)

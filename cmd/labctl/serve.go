@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+
+	"labstor/internal/core"
+	"labstor/internal/serve"
+)
+
+// cmdServe fires one RPC at a live serving front end (or router) and prints
+// the outcome — the smoke-test face of the wire protocol.
+//
+//	labctl serve -addr 127.0.0.1:7600 put kv::/bench k1 hello
+//	labctl serve -addr 127.0.0.1:7600 get kv::/bench k1
+//	labctl serve -addr 127.0.0.1:7600 ping
+func cmdServe(args []string) {
+	var addr, tenant string
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; a {
+		case "-addr", "--addr":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			addr = args[i]
+		case "-tenant", "--tenant":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			tenant = args[i]
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if addr == "" || len(rest) == 0 {
+		usage()
+	}
+	if tenant == "" {
+		tenant = "labctl"
+	}
+
+	c, err := serve.Dial(addr, tenant)
+	if err != nil {
+		fatal("serve: dial %s: %v", addr, err)
+	}
+	defer c.Close()
+
+	op := rest[0]
+	if op == "ping" {
+		if err := c.Ping(); err != nil {
+			fatal("serve: ping: %v", err)
+		}
+		fmt.Println("pong")
+		return
+	}
+	if len(rest) < 2 {
+		usage()
+	}
+	rf := serve.ReqFrame{Mount: rest[1]}
+	switch op {
+	case "msg":
+		rf.Op = core.OpMessage
+	case "put":
+		if len(rest) < 4 {
+			usage()
+		}
+		rf.Op, rf.Key, rf.Payload = core.OpPut, rest[2], []byte(rest[3])
+	case "get":
+		if len(rest) < 3 {
+			usage()
+		}
+		rf.Op, rf.Key = core.OpGet, rest[2]
+	case "del":
+		if len(rest) < 3 {
+			usage()
+		}
+		rf.Op, rf.Key = core.OpDel, rest[2]
+	case "has":
+		if len(rest) < 3 {
+			usage()
+		}
+		rf.Op, rf.Key = core.OpHas, rest[2]
+	default:
+		fatal("serve: unknown op %q (want ping|msg|put|get|del|has)", op)
+	}
+
+	res, err := c.DoRetry(&rf, 8)
+	if err != nil {
+		fatal("serve: %v", err)
+	}
+	if e := res.Err(); e != nil {
+		fatal("serve: %s: %v", op, e)
+	}
+	switch op {
+	case "get":
+		fmt.Printf("%s\n", res.Resp.Value[:res.Resp.Result])
+	default:
+		fmt.Printf("OK result=%d\n", res.Resp.Result)
+	}
+}

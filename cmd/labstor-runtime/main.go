@@ -10,6 +10,12 @@
 // The config's `observe:` section (or the -observe flag) starts the live
 // observability server; the bound address is printed as
 // "observe: serving on http://ADDR" so scripts can scrape ephemeral ports.
+//
+// The config's `serve:` section (or the -serve flag) starts the network
+// serving front end; the bound address is printed as
+// "serve: listening on ADDR". When `serve.shards` lists backend addresses
+// the process routes instead of serving locally and prints
+// "serve: routing on ADDR across N shards".
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	_ "labstor/internal/mods/allmods"
 	"labstor/internal/obs"
 	"labstor/internal/runtime"
+	"labstor/internal/serve"
 	"labstor/internal/spec"
 )
 
@@ -43,6 +50,7 @@ func main() {
 	flag.Var(&stacks, "stack", "LabStack spec file (repeatable)")
 	demo := flag.Bool("demo", false, "run a short smoke workload and exit")
 	observeAddr := flag.String("observe", "", "observability server address (overrides the config's observe.addr)")
+	serveAddr := flag.String("serve", "", "network serving address (overrides the config's serve.addr)")
 	flag.Parse()
 
 	cfg := &spec.RuntimeConfig{Workers: 4, QueueDepth: 1024, UpgradePollMs: 5}
@@ -74,6 +82,29 @@ func main() {
 	} else if srv != nil {
 		defer srv.Close()
 		fmt.Printf("observe: serving on http://%s\n", bound)
+	}
+
+	if *serveAddr != "" {
+		cfg.Serve.Addr = *serveAddr
+	}
+	if cfg.Serve.Addr != "" {
+		if len(cfg.Serve.Shards) > 0 {
+			rtr := serve.NewRouter(cfg.Serve.Shards, cfg.Serve.Replicas, rt.Metrics())
+			bound, err := rtr.ListenAndServe(cfg.Serve.Addr)
+			if err != nil {
+				fatal("serve: %v", err)
+			}
+			defer rtr.Close()
+			fmt.Printf("serve: routing on %s across %d shards\n", bound, len(cfg.Serve.Shards))
+		} else {
+			fe := serve.New(rt, serve.ConfigFromSpec(cfg.Serve))
+			bound, err := fe.ListenAndServe()
+			if err != nil {
+				fatal("serve: %v", err)
+			}
+			defer fe.Close()
+			fmt.Printf("serve: listening on %s\n", bound)
+		}
 	}
 
 	var firstMount string

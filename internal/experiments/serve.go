@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/runtime"
+	"labstor/internal/serve"
+)
+
+// serveMounts is the route-key spread the routed ladder hashes over: each
+// mount is a distinct consistent-hash key, so connections land on both
+// shards instead of all following one key to one backend.
+var serveMounts = func() []string {
+	ms := make([]string, 16)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("msg::/s%d", i)
+	}
+	return ms
+}()
+
+// serveBackend boots a runtime serving the ladder's message stacks on an
+// ephemeral port.
+func serveBackend(workers int, cfg serve.Config) (*runtime.Runtime, *serve.Server, string, error) {
+	rt := runtime.New(runtime.Options{MaxWorkers: workers, QueueDepth: 4096, Batch: 8})
+	for _, mount := range serveMounts {
+		uuid := mount + "/dum"
+		if _, err := rt.Mount(core.NewStack(mount, core.Rules{}, []core.Vertex{
+			{UUID: uuid, Type: "labstor.dummy"},
+		})); err != nil {
+			return nil, nil, "", err
+		}
+	}
+	rt.Start()
+	cfg.Addr = "127.0.0.1:0"
+	srv := serve.New(rt, cfg)
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		rt.Shutdown()
+		return nil, nil, "", err
+	}
+	return rt, srv, addr.String(), nil
+}
+
+// serveDial connects with a short retry so a listen backlog burst during
+// the 4000-connection rung does not fail the ladder.
+func serveDial(addr, tenant string) (*serve.Conn, error) {
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		var c *serve.Conn
+		if c, err = serve.Dial(addr, tenant); err == nil {
+			return c, nil
+		}
+		time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+	}
+	return nil, err
+}
+
+// serveLadderRung drives conns concurrent connections, each pipelining
+// opsPerConn requests in windows, and returns (ops/s, busy frames).
+func serveLadderRung(addr string, conns, opsPerConn, window int) (float64, int64, error) {
+	var wg sync.WaitGroup
+	var busy, done int64
+	errCh := make(chan error, conns)
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := serveDial(addr, fmt.Sprintf("bench-%d", i%64))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			mount := serveMounts[i%len(serveMounts)]
+			rfs := make([]serve.ReqFrame, window)
+			for left := opsPerConn; left > 0; {
+				n := window
+				if left < n {
+					n = left
+				}
+				for j := 0; j < n; j++ {
+					rfs[j] = serve.ReqFrame{Op: core.OpMessage, Mount: mount}
+				}
+				results, err := c.Pipeline(rfs[:n])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for _, r := range results {
+					if r.Busy {
+						atomic.AddInt64(&busy, 1)
+						continue
+					}
+					if e := r.Err(); e != nil {
+						errCh <- e
+						return
+					}
+					atomic.AddInt64(&done, 1)
+				}
+				left -= n
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, 0, err
+	default:
+	}
+	return float64(done) / elapsed.Seconds(), busy, nil
+}
+
+// Serve measures the network serving front end end-to-end over real TCP
+// loopback: a concurrent-connection ladder in direct and sharded-router
+// modes, per-tenant rate-limit enforcement, and explicit BUSY backpressure
+// under an inflight overload. Wall-clock ops/s, not modeled time: the wire,
+// the admission plane and the SubmitBatch hand-off are the system under
+// test.
+func Serve(conns []int, opsPerConn int) (*Result, error) {
+	const window = 32
+	res := &Result{
+		Name:  "serve: network front end, admission control, shard routing",
+		Table: newTable("mode", "conns", "ops/s", "busy frames"),
+	}
+	res.V("ops_per_conn", float64(opsPerConn))
+	maxConns := 0
+
+	// Direct mode: clients straight at one serving runtime. The default
+	// policy is effectively unthrottled so the rung measures the data path.
+	open := serve.TenantPolicy{Inflight: 1 << 20}
+	rt, srv, addr, err := serveBackend(2, serve.Config{Default: open})
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range conns {
+		ops, busy, err := serveLadderRung(addr, n, opsPerConn, window)
+		if err != nil {
+			srv.Close()
+			rt.Shutdown()
+			return nil, fmt.Errorf("direct rung %d: %w", n, err)
+		}
+		res.Table.AddRowf("direct", n, fmt.Sprintf("%.0f", ops), busy)
+		res.V(fmt.Sprintf("direct_c%d_ops_per_s", n), ops)
+		if n > maxConns {
+			maxConns = n
+		}
+	}
+	srv.Close()
+	rt.Shutdown()
+
+	// Routed mode: the same ladder through a consistent-hash router over
+	// two backend runtimes; mounts spread route keys across both shards.
+	rt1, srv1, addr1, err := serveBackend(1, serve.Config{Default: open})
+	if err != nil {
+		return nil, err
+	}
+	rt2, srv2, addr2, err := serveBackend(1, serve.Config{Default: open})
+	if err != nil {
+		srv1.Close()
+		rt1.Shutdown()
+		return nil, err
+	}
+	// 512 virtual points per shard keeps the 2-backend ring balanced enough
+	// that 16 route keys essentially never collapse onto one side.
+	router := serve.NewRouter([]string{addr1, addr2}, 512, nil)
+	raddr, err := router.ListenAndServe("127.0.0.1:0")
+	if err == nil {
+		for _, n := range conns {
+			ops, busy, rerr := serveLadderRung(raddr.String(), n, opsPerConn, window)
+			if rerr != nil {
+				err = fmt.Errorf("routed rung %d: %w", n, rerr)
+				break
+			}
+			res.Table.AddRowf("routed", n, fmt.Sprintf("%.0f", ops), busy)
+			res.V(fmt.Sprintf("routed_c%d_ops_per_s", n), ops)
+		}
+	}
+	// Both shards must have carried traffic for the routed numbers to mean
+	// anything.
+	if err == nil {
+		shardOps := 0
+		for _, b := range []string{addr1, addr2} {
+			if router.Metrics().Snapshot().Counters["router.backend_ops;backend="+b] > 0 {
+				shardOps++
+			}
+		}
+		res.V("routed_shards_active", float64(shardOps))
+		if shardOps < 2 {
+			err = fmt.Errorf("routing collapsed onto %d of 2 shards", shardOps)
+		}
+	}
+	router.Close()
+	srv1.Close()
+	srv2.Close()
+	rt1.Shutdown()
+	rt2.Shutdown()
+	if err != nil {
+		return nil, err
+	}
+
+	// Rate-limit enforcement: a capped tenant against an open one on the
+	// same server. The capped tenant's admitted throughput must flatten at
+	// its configured rate while the open tenant runs free.
+	const cappedRate = 2000
+	rt, srv, addr, err = serveBackend(2, serve.Config{
+		Default: open,
+		Tenants: []serve.TenantPolicy{{Name: "capped", RatePerSec: cappedRate, Burst: 64}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	const rlWindow = 700 * time.Millisecond
+	rlRun := func(tenant string) (ok, busy int64, err error) {
+		var wg sync.WaitGroup
+		errCh := make(chan error, 8)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := serveDial(addr, tenant)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer c.Close()
+				deadline := time.Now().Add(rlWindow)
+				for time.Now().Before(deadline) {
+					r, err := c.Do(&serve.ReqFrame{Op: core.OpMessage, Mount: serveMounts[0]})
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if r.Busy {
+						atomic.AddInt64(&busy, 1)
+						time.Sleep(time.Duration(r.RetryNs))
+						continue
+					}
+					if e := r.Err(); e != nil {
+						errCh <- e
+						return
+					}
+					atomic.AddInt64(&ok, 1)
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err = <-errCh:
+		default:
+		}
+		return ok, busy, err
+	}
+	var cappedOK, cappedBusy, openOK int64
+	var rlErr error
+	var rlWG sync.WaitGroup
+	rlWG.Add(2)
+	go func() {
+		defer rlWG.Done()
+		ok, busy, err := rlRun("capped")
+		atomic.StoreInt64(&cappedOK, ok)
+		atomic.StoreInt64(&cappedBusy, busy)
+		if err != nil {
+			rlErr = err
+		}
+	}()
+	go func() {
+		defer rlWG.Done()
+		ok, _, err := rlRun("open")
+		atomic.StoreInt64(&openOK, ok)
+		if err != nil {
+			rlErr = err
+		}
+	}()
+	rlWG.Wait()
+	srv.Close()
+	rt.Shutdown()
+	if rlErr != nil {
+		return nil, rlErr
+	}
+	cappedRateMeasured := float64(cappedOK) / rlWindow.Seconds()
+	openRateMeasured := float64(openOK) / rlWindow.Seconds()
+	res.Table.AddRowf("ratelimit capped", 8, fmt.Sprintf("%.0f", cappedRateMeasured), cappedBusy)
+	res.Table.AddRowf("ratelimit open", 8, fmt.Sprintf("%.0f", openRateMeasured), 0)
+	res.V("ratelimit_capped_ops_per_s", cappedRateMeasured)
+	res.V("ratelimit_open_ops_per_s", openRateMeasured)
+	res.V("ratelimit_capped_busy", float64(cappedBusy))
+	enforced := 0.0
+	if cappedRateMeasured < 2*cappedRate && cappedBusy > 0 && openRateMeasured > 2*cappedRateMeasured {
+		enforced = 1
+	}
+	res.V("ratelimit_enforced", enforced)
+	if enforced == 0 {
+		return nil, fmt.Errorf("rate limit not enforced: capped %.0f/s (busy %d) vs open %.0f/s",
+			cappedRateMeasured, cappedBusy, openRateMeasured)
+	}
+
+	// BUSY backpressure: a tiny inflight budget against oversized pipeline
+	// windows. Overflow must surface as explicit BUSY frames, with the
+	// admitted remainder still completing.
+	rt, srv, addr, err = serveBackend(1, serve.Config{Default: serve.TenantPolicy{Inflight: 16}})
+	if err != nil {
+		return nil, err
+	}
+	bpOps, bpBusy, err := serveLadderRung(addr, 8, 256, 128)
+	srv.Close()
+	rt.Shutdown()
+	if err != nil {
+		return nil, err
+	}
+	res.Table.AddRowf("backpressure", 8, fmt.Sprintf("%.0f", bpOps), bpBusy)
+	res.V("backpressure_busy_frames", float64(bpBusy))
+	if bpBusy == 0 {
+		return nil, fmt.Errorf("no BUSY frames under 64x inflight overload")
+	}
+
+	res.V("max_conns", float64(maxConns))
+	res.Notes = fmt.Sprintf(
+		"Wall-clock TCP loopback. %d concurrent connections sustained; capped tenant held to ~%d ops/s (%d BUSY) while the open tenant ran at %.0f ops/s; inflight overload produced %d explicit BUSY frames.",
+		maxConns, cappedRate, cappedBusy, openRateMeasured, bpBusy)
+	return res, nil
+}

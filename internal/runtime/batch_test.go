@@ -2,6 +2,7 @@ package runtime_test
 
 import (
 	"testing"
+	"time"
 
 	"labstor/internal/core"
 	"labstor/internal/device"
@@ -180,5 +181,84 @@ func TestSubmitBatchPooledRoundTrip(t *testing.T) {
 	}
 	if after.Releases-before.Releases != 64 {
 		t.Fatalf("pool releases delta %d, want 64", after.Releases-before.Releases)
+	}
+}
+
+// TestSubmitBatchQueueFull drives a batch several times the SQ ring depth
+// through a tiny queue: SubmitBatch must spin on the full ring (counting
+// client.sq_full_retries) rather than drop or error, and every request must
+// still complete.
+func TestSubmitBatchQueueFull(t *testing.T) {
+	rt := runtime.New(runtime.Options{MaxWorkers: 1, QueueDepth: 8, Batch: 4})
+	rt.AddDevice(device.New("dev0", device.NVMe, 32<<20))
+	if _, err := rt.Mount(core.NewStack("msg::/d", core.Rules{}, []core.Vertex{
+		{UUID: "dum", Type: dummy.Type},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Shutdown)
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+	stack, _ := rt.Namespace.Lookup("msg::/d")
+
+	const n = 512 // 64x the ring depth
+	reqs := make([]*core.Request, n)
+	for i := range reqs {
+		reqs[i] = core.NewRequest(core.OpMessage)
+	}
+	if err := cli.SubmitBatch(stack, reqs); err != nil {
+		t.Fatalf("SubmitBatch over a full ring: %v", err)
+	}
+	if err := cli.WaitAll(reqs); err != nil {
+		t.Fatalf("WaitAll: %v", err)
+	}
+	for i, req := range reqs {
+		if req.Err != nil {
+			t.Fatalf("req %d: %v", i, req.Err)
+		}
+	}
+	snap := rt.Metrics().Snapshot()
+	if snap.Counters["client.sq_full_retries"] == 0 {
+		t.Fatal("no sq_full_retries recorded pushing 512 requests through an 8-deep ring")
+	}
+	if got := snap.Counters["client.submitted"]; got != n {
+		t.Fatalf("client.submitted = %d, want %d", got, n)
+	}
+}
+
+// TestSubmitBatchStoppedRuntime pins the shutdown contract the serve
+// completer relies on: SubmitBatch against a stopped runtime returns
+// ErrStopped, and WaitAll on the never-submitted requests also returns
+// ErrStopped immediately instead of hanging.
+func TestSubmitBatchStoppedRuntime(t *testing.T) {
+	// No t.Cleanup(Shutdown) here: the test owns the (single) shutdown.
+	rt := runtime.New(runtime.Options{MaxWorkers: 1, QueueDepth: 256, Batch: 4})
+	rt.AddDevice(device.New("dev0", device.NVMe, 32<<20))
+	if _, err := rt.Mount(core.NewStack("msg::/d", core.Rules{}, []core.Vertex{
+		{UUID: "dum", Type: dummy.Type},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+	stack, _ := rt.Namespace.Lookup("msg::/d")
+	rt.Shutdown()
+
+	reqs := make([]*core.Request, 4)
+	for i := range reqs {
+		reqs[i] = core.NewRequest(core.OpMessage)
+	}
+	if err := cli.SubmitBatch(stack, reqs); err != runtime.ErrStopped {
+		t.Fatalf("SubmitBatch on stopped runtime = %v, want ErrStopped", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cli.WaitAll(reqs) }()
+	select {
+	case err := <-done:
+		if err != runtime.ErrStopped {
+			t.Fatalf("WaitAll on stopped runtime = %v, want ErrStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitAll hung on never-submitted requests after shutdown")
 	}
 }

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"labstor/internal/telemetry"
+)
+
+// TenantPolicy is the per-tenant QoS contract at the serving edge — the
+// policy half of PAIO's policy/mechanism split. The mechanism (token bucket
+// + inflight counter + BUSY frames) is uniform; the numbers differ per
+// tenant.
+type TenantPolicy struct {
+	Name string
+	// RatePerSec caps sustained admitted ops/s (0 = unlimited).
+	RatePerSec float64
+	// Burst is the token-bucket depth (0 = max(RatePerSec/10, 32)).
+	Burst float64
+	// Inflight caps the tenant's outstanding (admitted, not yet completed)
+	// requests across all connections (0 = server default).
+	Inflight int
+}
+
+// Admission is the serving front end's multi-tenant admission controller:
+// per-tenant token buckets and inflight caps, with the inflight budget
+// scaled down under measured runtime overload (the orchestrator's per-queue
+// demand estimates, fed via SetPressure). Rejections are explicit — the
+// server answers BUSY frames instead of queueing without bound.
+type Admission struct {
+	def            TenantPolicy // defaults for tenants without a policy
+	defaultBudget  int          // server-default inflight cap
+	minInflight    int          // floor the pressure scaler never goes below
+	mu             sync.Mutex
+	tenants        map[string]*tenantState
+	pressureMilli  atomic.Int64 // runtime demand / capacity, in 1/1000ths
+	metrics        *telemetry.Registry
+	mBusyRate      *telemetry.Counter
+	mBusyInflight  *telemetry.Counter
+	mBusyOverload  *telemetry.Counter
+	gPressureMilli *telemetry.Gauge
+}
+
+// tenantState is one tenant's live admission state.
+type tenantState struct {
+	policy TenantPolicy
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	inflight atomic.Int64
+
+	// Cached per-tenant telemetry series (`;tenant=` labels render as one
+	// Prometheus family with a tenant label).
+	mAdmitted *telemetry.Counter
+	mBusy     *telemetry.Counter
+	gInflight *telemetry.Gauge
+}
+
+// NewAdmission builds an admission controller. tenants lists the explicit
+// per-tenant policies; def fills gaps (def.Inflight 0 = 256). reg receives
+// the serve.tenant_* series and may be shared with the runtime registry.
+func NewAdmission(def TenantPolicy, tenants []TenantPolicy, reg *telemetry.Registry) *Admission {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	budget := def.Inflight
+	if budget <= 0 {
+		budget = 256
+	}
+	a := &Admission{
+		def:            def,
+		defaultBudget:  budget,
+		minInflight:    8,
+		tenants:        make(map[string]*tenantState),
+		metrics:        reg,
+		mBusyRate:      reg.Counter("serve.busy_rate"),
+		mBusyInflight:  reg.Counter("serve.busy_inflight"),
+		mBusyOverload:  reg.Counter("serve.busy_overload"),
+		gPressureMilli: reg.Gauge("serve.pressure_milli"),
+	}
+	for _, p := range tenants {
+		if p.Name == "" {
+			continue
+		}
+		a.tenants[p.Name] = a.newState(p)
+	}
+	return a
+}
+
+func (a *Admission) newState(p TenantPolicy) *tenantState {
+	if p.Inflight <= 0 {
+		p.Inflight = a.defaultBudget
+	}
+	if p.RatePerSec > 0 && p.Burst <= 0 {
+		p.Burst = math.Max(p.RatePerSec/10, 32)
+	}
+	return &tenantState{
+		policy:    p,
+		tokens:    p.Burst,
+		last:      time.Now(),
+		mAdmitted: a.metrics.Counter("serve.tenant_admitted;tenant=" + p.Name),
+		mBusy:     a.metrics.Counter("serve.tenant_busy;tenant=" + p.Name),
+		gInflight: a.metrics.Gauge("serve.tenant_inflight;tenant=" + p.Name),
+	}
+}
+
+// Tenant returns (creating on first use) the named tenant's state. Unknown
+// tenants get the default policy — multi-tenancy is open-enrollment at the
+// edge; explicit policies only tighten it.
+func (a *Admission) Tenant(name string) *tenantState {
+	if name == "" {
+		name = "default"
+	}
+	a.mu.Lock()
+	ts, ok := a.tenants[name]
+	if !ok {
+		p := a.def
+		p.Name = name
+		ts = a.newState(p)
+		a.tenants[name] = ts
+	}
+	a.mu.Unlock()
+	return ts
+}
+
+// SetPressure feeds the runtime saturation estimate: demand is the sum of
+// the orchestrator's per-queue utilization rates (cores' worth of measured
+// CPU demand), capacity the worker count. pressure > 1 means the runtime is
+// over-committed; inflight budgets shrink proportionally so the wire sheds
+// load (BUSY) instead of stacking requests onto saturated queues.
+func (a *Admission) SetPressure(demand, capacity float64) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	p := demand / capacity
+	a.pressureMilli.Store(int64(p * 1000))
+	a.gPressureMilli.Set(int64(p * 1000))
+}
+
+// effectiveInflight is the tenant's inflight cap after pressure scaling.
+func (a *Admission) effectiveInflight(ts *tenantState) int {
+	capacity := ts.policy.Inflight
+	p := float64(a.pressureMilli.Load()) / 1000
+	if p <= 1 {
+		return capacity
+	}
+	eff := int(float64(capacity) / p)
+	if eff < a.minInflight {
+		eff = a.minInflight
+	}
+	return eff
+}
+
+// Admit asks to queue one request for the tenant. On success the tenant's
+// inflight count is charged (undo with Done when the response is sent). On
+// rejection it returns the BUSY reason and a retry hint.
+func (a *Admission) Admit(ts *tenantState) (ok bool, reason byte, retryNs int64) {
+	// Inflight cap first: it bounds memory/queue footprint, and a rejected
+	// request should not consume rate tokens.
+	eff := a.effectiveInflight(ts)
+	if n := ts.inflight.Add(1); int(n) > eff {
+		ts.inflight.Add(-1)
+		ts.mBusy.Inc()
+		if eff < ts.policy.Inflight {
+			a.mBusyOverload.Inc()
+			return false, BusyOverload, int64(time.Millisecond)
+		}
+		a.mBusyInflight.Inc()
+		// Retry after roughly one request's worth of drain time; clients
+		// with many outstanding ops back off harder via their own windows.
+		return false, BusyInflight, int64(200 * time.Microsecond)
+	}
+
+	if ts.policy.RatePerSec > 0 {
+		ts.mu.Lock()
+		now := time.Now()
+		ts.tokens += now.Sub(ts.last).Seconds() * ts.policy.RatePerSec
+		ts.last = now
+		if ts.tokens > ts.policy.Burst {
+			ts.tokens = ts.policy.Burst
+		}
+		if ts.tokens < 1 {
+			deficit := 1 - ts.tokens
+			ts.mu.Unlock()
+			ts.inflight.Add(-1)
+			ts.mBusy.Inc()
+			a.mBusyRate.Inc()
+			return false, BusyRate, int64(deficit / ts.policy.RatePerSec * float64(time.Second))
+		}
+		ts.tokens--
+		ts.mu.Unlock()
+	}
+
+	ts.mAdmitted.Inc()
+	ts.gInflight.Set(ts.inflight.Load())
+	return true, 0, 0
+}
+
+// Done releases one admitted request's inflight charge.
+func (a *Admission) Done(ts *tenantState) {
+	ts.gInflight.Set(ts.inflight.Add(-1))
+}
+
+// Inflight returns the tenant's current outstanding count (tests/metrics).
+func (ts *tenantState) Inflight() int64 { return ts.inflight.Load() }
+
+// Policy returns the tenant's resolved policy.
+func (ts *tenantState) Policy() TenantPolicy { return ts.policy }

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"labstor/internal/telemetry"
+)
+
+func TestAdmissionInflightCap(t *testing.T) {
+	a := NewAdmission(TenantPolicy{Inflight: 4}, nil, nil)
+	ts := a.Tenant("t")
+	for i := 0; i < 4; i++ {
+		if ok, reason, _ := a.Admit(ts); !ok {
+			t.Fatalf("admit %d rejected (%s)", i, BusyReasonString(reason))
+		}
+	}
+	ok, reason, retry := a.Admit(ts)
+	if ok || reason != BusyInflight {
+		t.Fatalf("want BusyInflight at cap, got ok=%v reason=%s", ok, BusyReasonString(reason))
+	}
+	if retry <= 0 {
+		t.Fatalf("want positive retry hint, got %d", retry)
+	}
+	a.Done(ts)
+	if ok, _, _ := a.Admit(ts); !ok {
+		t.Fatal("admit after Done rejected")
+	}
+	if got := ts.Inflight(); got != 4 {
+		t.Fatalf("inflight = %d, want 4", got)
+	}
+}
+
+func TestAdmissionRateLimit(t *testing.T) {
+	// 100 ops/s with a burst of 5: the first 5 admits drain the bucket,
+	// the 6th is BusyRate, and ~50ms refills ~5 more tokens.
+	a := NewAdmission(TenantPolicy{Inflight: 1000}, []TenantPolicy{
+		{Name: "capped", RatePerSec: 100, Burst: 5},
+	}, nil)
+	ts := a.Tenant("capped")
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _, _ := a.Admit(ts); ok {
+			admitted++
+			a.Done(ts)
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("burst admitted %d, want 5", admitted)
+	}
+	ok, reason, retry := a.Admit(ts)
+	if ok || reason != BusyRate {
+		t.Fatalf("want BusyRate, got ok=%v reason=%s", ok, BusyReasonString(reason))
+	}
+	if retry <= 0 || retry > int64(100*time.Millisecond) {
+		t.Fatalf("retry hint %dns outside (0, 100ms]", retry)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if ok, _, _ := a.Admit(ts); !ok {
+		t.Fatal("no admit after refill window")
+	}
+	a.Done(ts)
+}
+
+func TestAdmissionTenantIsolation(t *testing.T) {
+	// One throttled tenant must not affect another's admissions.
+	a := NewAdmission(TenantPolicy{Inflight: 100}, []TenantPolicy{
+		{Name: "capped", RatePerSec: 1, Burst: 1},
+	}, nil)
+	capped, open := a.Tenant("capped"), a.Tenant("open")
+	if ok, _, _ := a.Admit(capped); !ok {
+		t.Fatal("capped first admit rejected")
+	}
+	a.Done(capped)
+	if ok, _, _ := a.Admit(capped); ok {
+		t.Fatal("capped second admit should be rate-limited")
+	}
+	for i := 0; i < 50; i++ {
+		if ok, reason, _ := a.Admit(open); !ok {
+			t.Fatalf("open admit %d rejected (%s)", i, BusyReasonString(reason))
+		}
+		a.Done(open)
+	}
+}
+
+func TestAdmissionPressureShedsLoad(t *testing.T) {
+	a := NewAdmission(TenantPolicy{Inflight: 100}, nil, nil)
+	ts := a.Tenant("t")
+
+	// Saturated runtime: demand of 8 cores' worth against 2 workers scales
+	// the 100-deep budget down to 100/4 = 25.
+	a.SetPressure(8, 2)
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		ok, reason, _ := a.Admit(ts)
+		if !ok {
+			if reason != BusyOverload {
+				t.Fatalf("want BusyOverload under pressure, got %s", BusyReasonString(reason))
+			}
+			break
+		}
+		admitted++
+	}
+	if admitted != 25 {
+		t.Fatalf("admitted %d under 4x pressure, want 25", admitted)
+	}
+
+	// Pressure released: the full budget is back.
+	a.SetPressure(1, 2)
+	for i := admitted; i < 100; i++ {
+		if ok, _, _ := a.Admit(ts); !ok {
+			t.Fatalf("admit %d rejected after pressure release", i)
+		}
+	}
+}
+
+func TestAdmissionConcurrentAccounting(t *testing.T) {
+	a := NewAdmission(TenantPolicy{Inflight: 64}, nil, nil)
+	ts := a.Tenant("t")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if ok, _, _ := a.Admit(ts); ok {
+					a.Done(ts)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ts.Inflight(); got != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", got)
+	}
+}
+
+func TestAdmissionTenantSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := NewAdmission(TenantPolicy{Inflight: 4}, []TenantPolicy{{Name: "gold"}}, reg)
+	ts := a.Tenant("gold")
+	if ok, _, _ := a.Admit(ts); !ok {
+		t.Fatal("admit rejected")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["serve.tenant_admitted;tenant=gold"] != 1 {
+		t.Fatalf("tenant_admitted series missing: %v", snap.Counters)
+	}
+	if snap.Gauges["serve.tenant_inflight;tenant=gold"] != 1 {
+		t.Fatalf("tenant_inflight series missing: %v", snap.Gauges)
+	}
+}

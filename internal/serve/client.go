@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrConnClosed is returned for requests outstanding when the connection
+// dies or Close is called.
+var ErrConnClosed = errors.New("serve: connection closed")
+
+// Result is one request's outcome at the client: either a response frame
+// (Value copied out of the read buffer, safe to retain) or a busy
+// rejection with the server's retry hint.
+type Result struct {
+	Resp    RespFrame
+	Busy    bool
+	Reason  byte
+	RetryNs int64
+}
+
+// Err folds the result into a single error: nil on success, the server's
+// request error, or a busy description.
+func (r *Result) Err() error {
+	if r.Busy {
+		return fmt.Errorf("serve: busy (%s, retry in %s)", BusyReasonString(r.Reason), time.Duration(r.RetryNs))
+	}
+	if !r.Resp.OK {
+		return errors.New(r.Resp.Err)
+	}
+	return nil
+}
+
+// Conn is a client connection to a serving front end (or router). It is
+// safe for concurrent use: submissions pipeline onto one socket and a
+// background reader demultiplexes completions by request id.
+type Conn struct {
+	conn   net.Conn
+	tenant string
+	nextID atomic.Uint64
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc []byte // reusable encode scratch, guarded by wmu
+
+	mu      sync.Mutex
+	pending map[uint64]chan Result
+	err     error // set once the reader dies
+	readWG  sync.WaitGroup
+}
+
+// Dial connects, performs the Hello handshake and starts the reader.
+// tenant becomes the connection's default tenant for admission control.
+func Dial(addr, tenant string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if _, err := nc.Write(AppendHello(nil, &HelloFrame{Version: ProtoVersion, Tenant: tenant})); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, _, err := ReadFrame(br, nil, DefaultMaxPayload)
+	if err != nil || typ != FrameHello {
+		nc.Close()
+		return nil, fmt.Errorf("serve: handshake failed: %v", err)
+	}
+	if _, err := DecodeHello(payload); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("serve: handshake failed: %v", err)
+	}
+	nc.SetReadDeadline(time.Time{})
+
+	c := &Conn{
+		conn:    nc,
+		tenant:  tenant,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]chan Result),
+	}
+	c.readWG.Add(1)
+	go c.readLoop(br)
+	return c, nil
+}
+
+// Close tears the connection down; outstanding requests fail with
+// ErrConnClosed.
+func (c *Conn) Close() error {
+	err := c.conn.Close()
+	c.readWG.Wait()
+	return err
+}
+
+func (c *Conn) readLoop(br *bufio.Reader) {
+	defer c.readWG.Done()
+	var buf []byte
+	var failErr error
+	for {
+		typ, payload, nbuf, err := ReadFrame(br, buf, DefaultMaxPayload)
+		if err != nil {
+			failErr = err
+			break
+		}
+		buf = nbuf
+		var id uint64
+		var res Result
+		switch typ {
+		case FrameResp:
+			var rf RespFrame
+			if err := DecodeResp(payload, &rf); err != nil {
+				failErr = err
+				break
+			}
+			// The decode buffer is reused next iteration; the value must be
+			// copied out before delivery.
+			if len(rf.Value) > 0 {
+				rf.Value = append([]byte(nil), rf.Value...)
+			}
+			id, res = rf.ID, Result{Resp: rf}
+		case FrameBusy:
+			bf, err := DecodeBusy(payload)
+			if err != nil {
+				failErr = err
+				break
+			}
+			id, res = bf.ID, Result{Busy: true, Reason: bf.Reason, RetryNs: bf.RetryNs}
+		case FramePong:
+			pid, err := DecodePing(payload)
+			if err != nil {
+				failErr = err
+				break
+			}
+			id, res = pid, Result{Resp: RespFrame{ID: pid, OK: true}}
+		default:
+			failErr = ErrTornFrame
+		}
+		if failErr != nil {
+			break
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- res
+		}
+	}
+	if failErr == nil {
+		failErr = ErrConnClosed
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = failErr
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch) // closed channel = connection failure
+	}
+	c.mu.Unlock()
+}
+
+// Submit pipelines one request without flushing; the returned channel
+// yields exactly one Result (or closes on connection failure). A zero
+// rf.ID is assigned; rf.Tenant defaults to the connection tenant on the
+// server side.
+func (c *Conn) Submit(rf *ReqFrame) (<-chan Result, error) {
+	if rf.ID == 0 {
+		rf.ID = c.nextID.Add(1)
+	}
+	ch := make(chan Result, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[rf.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.enc = AppendReq(c.enc[:0], rf)
+	_, err := c.bw.Write(c.enc)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, rf.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Flush pushes buffered submissions onto the wire.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.bw.Flush()
+}
+
+// wait blocks for a submission's result.
+func wait(ch <-chan Result) (Result, error) {
+	res, ok := <-ch
+	if !ok {
+		return Result{}, ErrConnClosed
+	}
+	return res, nil
+}
+
+// Do submits one request, flushes and waits for its result.
+func (c *Conn) Do(rf *ReqFrame) (Result, error) {
+	ch, err := c.Submit(rf)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Result{}, err
+	}
+	return wait(ch)
+}
+
+// DoRetry is Do with busy-backoff: on a BUSY result it sleeps the server's
+// retry hint (bounded to [50us, 10ms]) and resubmits, up to tries attempts.
+// The final result is returned even if still busy.
+func (c *Conn) DoRetry(rf *ReqFrame, tries int) (Result, error) {
+	if tries < 1 {
+		tries = 1
+	}
+	var res Result
+	var err error
+	for i := 0; i < tries; i++ {
+		// Fresh id per attempt: the previous rejection consumed the old one.
+		rf.ID = c.nextID.Add(1)
+		res, err = c.Do(rf)
+		if err != nil || !res.Busy {
+			return res, err
+		}
+		backoff := time.Duration(res.RetryNs)
+		if backoff < 50*time.Microsecond {
+			backoff = 50 * time.Microsecond
+		}
+		if backoff > 10*time.Millisecond {
+			backoff = 10 * time.Millisecond
+		}
+		time.Sleep(backoff)
+	}
+	return res, err
+}
+
+// Pipeline submits a window of requests back-to-back (one flush) and waits
+// for every result, in order. This is the wire analogue of
+// Client.SubmitBatch/WaitAll and what the load generator drives.
+func (c *Conn) Pipeline(rfs []ReqFrame) ([]Result, error) {
+	chans := make([]<-chan Result, len(rfs))
+	for i := range rfs {
+		ch, err := c.Submit(&rfs[i])
+		if err != nil {
+			return nil, err
+		}
+		chans[i] = ch
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(rfs))
+	for i, ch := range chans {
+		res, err := wait(ch)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Conn) Ping() error {
+	id := c.nextID.Add(1)
+	ch := make(chan Result, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	c.wmu.Lock()
+	c.enc = AppendPing(c.enc[:0], FramePing, id)
+	_, err := c.bw.Write(c.enc)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = wait(ch)
+	return err
+}
+
+// Tenant returns the connection's default tenant.
+func (c *Conn) Tenant() string { return c.tenant }

@@ -1,0 +1,33 @@
+package serve
+
+import "labstor/internal/spec"
+
+// PolicyFromSpec converts one serve-block tenant entry into an admission
+// policy.
+func PolicyFromSpec(ts spec.TenantSpec) TenantPolicy {
+	return TenantPolicy{
+		Name:       ts.Name,
+		RatePerSec: ts.RatePerSec,
+		Burst:      ts.Burst,
+		Inflight:   ts.Inflight,
+	}
+}
+
+// ConfigFromSpec converts a parsed serve: block into a server Config.
+// Shards/Replicas are router-mode fields the caller dispatches on; they have
+// no server-side equivalent here.
+func ConfigFromSpec(sv spec.ServeSpec) Config {
+	cfg := Config{
+		Addr:         sv.Addr,
+		Batch:        sv.Batch,
+		DemandPollMs: sv.DemandPollMs,
+		Default:      PolicyFromSpec(sv.Default),
+	}
+	if sv.MaxPayloadMB > 0 {
+		cfg.MaxPayload = sv.MaxPayloadMB << 20
+	}
+	for _, ts := range sv.Tenants {
+		cfg.Tenants = append(cfg.Tenants, PolicyFromSpec(ts))
+	}
+	return cfg
+}

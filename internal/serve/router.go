@@ -1,0 +1,523 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"labstor/internal/telemetry"
+)
+
+// RouteKey reduces a request's mount path to its sharding key: the
+// namespace scheme plus the first path component, so everything under one
+// tenant/namespace prefix ("fs::/tenants/a/...") lands on the same shard
+// while distinct prefixes spread across the ring.
+func RouteKey(mount string) string {
+	i := strings.Index(mount, "::")
+	if i < 0 {
+		return mount
+	}
+	rest := strings.TrimPrefix(mount[i+2:], "/")
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		rest = rest[:j]
+	}
+	return mount[:i+2] + "/" + rest
+}
+
+// Ring is a consistent-hash ring over backend addresses: each backend owns
+// `replicas` virtual points, keys map to the first point clockwise. Adding
+// or removing one backend moves only ~1/N of the keyspace.
+type Ring struct {
+	points   []ringPoint
+	backends []string
+}
+
+type ringPoint struct {
+	hash uint32
+	idx  int
+}
+
+// ringHash hashes a string onto the ring. FNV-32a alone clusters
+// near-identical strings ("msg::/s0".."msg::/s15" differ only in a
+// trailing digit, so their hashes land within a narrow band of the
+// keyspace); the murmur3 finalizer avalanches the bits so similar keys
+// and vnode labels spread uniformly.
+func ringHash(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	x := h.Sum32()
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// NewRing builds a ring (replicas 0 = 64 virtual points per backend).
+func NewRing(backends []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &Ring{backends: append([]string(nil), backends...)}
+	for i, b := range r.backends {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", b, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// Lookup returns the backend serving key.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	hv := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hv })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.backends[r.points[i].idx]
+}
+
+// Backends returns the ring's backend list.
+func (r *Ring) Backends() []string { return append([]string(nil), r.backends...) }
+
+// Router is the thin shard-routing proxy: client connections speak the
+// same wire protocol, and each request is forwarded to the backend owning
+// its mount's RouteKey. Upstream connections are shared (muxed) across
+// client connections with request-id rewriting, so N clients cost
+// O(backends) upstream sockets, not O(N x backends).
+type Router struct {
+	ring    *Ring
+	tenant  string // tenant the router's upstream Hellos present
+	metrics *telemetry.Registry
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	upstreams map[string]*upstream
+	nextGID   atomic.Uint64
+
+	mForwarded *telemetry.Counter
+	mUpErrors  *telemetry.Counter
+	gConns     *telemetry.Gauge
+}
+
+// NewRouter builds a router over the backend set. reg may be nil (a
+// private registry is created); pass a runtime's registry to surface
+// router.* series on an existing /metrics plane.
+func NewRouter(backends []string, replicas int, reg *telemetry.Registry) *Router {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Router{
+		ring:       NewRing(backends, replicas),
+		tenant:     "router",
+		metrics:    reg,
+		quit:       make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		upstreams:  make(map[string]*upstream),
+		mForwarded: reg.Counter("router.frames_forwarded"),
+		mUpErrors:  reg.Counter("router.upstream_errors"),
+		gConns:     reg.Gauge("router.connections"),
+	}
+}
+
+// Ring exposes the routing ring (tests, labctl).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Metrics exposes the router's registry.
+func (r *Router) Metrics() *telemetry.Registry { return r.metrics }
+
+// ListenAndServe binds addr and starts proxying; returns the bound address.
+func (r *Router) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.ln = ln
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Close stops the router and closes every client and upstream connection.
+func (r *Router) Close() error {
+	var err error
+	r.closeOnce.Do(func() {
+		close(r.quit)
+		if r.ln != nil {
+			err = r.ln.Close()
+		}
+		r.mu.Lock()
+		for c := range r.conns {
+			c.Close()
+		}
+		ups := make([]*upstream, 0, len(r.upstreams))
+		for _, u := range r.upstreams {
+			ups = append(ups, u)
+		}
+		r.mu.Unlock()
+		for _, u := range ups {
+			u.close()
+		}
+		r.wg.Wait()
+	})
+	return err
+}
+
+func (r *Router) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			select {
+			case <-r.quit:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		r.mu.Lock()
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
+		r.gConns.Add(1)
+		r.wg.Add(1)
+		go r.handleConn(conn)
+	}
+}
+
+// clientConn is one proxied client connection's write side.
+type clientConn struct {
+	writeCh chan []byte
+	done    chan struct{}
+}
+
+// send delivers a client-bound frame unless the connection is gone.
+func (cc *clientConn) send(b []byte) {
+	select {
+	case cc.writeCh <- b:
+	case <-cc.done:
+	}
+}
+
+func (r *Router) handleConn(conn net.Conn) {
+	defer r.wg.Done()
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, conn)
+		r.mu.Unlock()
+		r.gConns.Add(-1)
+		conn.Close()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, buf, err := ReadFrame(br, nil, DefaultMaxPayload)
+	if err != nil || typ != FrameHello {
+		return
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil || hello.Version != ProtoVersion {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if _, err := conn.Write(AppendHello(nil, &HelloFrame{Version: ProtoVersion, Tenant: hello.Tenant})); err != nil {
+		return
+	}
+
+	cc := &clientConn{writeCh: make(chan []byte, 256), done: make(chan struct{})}
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		dead := false
+		for {
+			select {
+			case out := <-cc.writeCh:
+				if dead {
+					continue
+				}
+				if _, err := bw.Write(out); err != nil {
+					dead = true
+					continue
+				}
+				if len(cc.writeCh) == 0 {
+					if err := bw.Flush(); err != nil {
+						dead = true
+					}
+				}
+			case <-cc.done:
+				if !dead {
+					bw.Flush()
+				}
+				return
+			}
+		}
+	}()
+	// Stop the writer before waiting on it (defers run LIFO after this one).
+	defer func() {
+		close(cc.done)
+		writerWG.Wait()
+	}()
+
+	var rf ReqFrame
+	for {
+		typ, payload, nbuf, err := ReadFrame(br, buf, DefaultMaxPayload)
+		if err != nil {
+			return
+		}
+		buf = nbuf
+		switch typ {
+		case FramePing:
+			id, err := DecodePing(payload)
+			if err != nil {
+				return
+			}
+			cc.send(AppendPing(nil, FramePong, id))
+			continue
+		case FrameReq:
+		default:
+			return
+		}
+		if err := DecodeReq(payload, &rf); err != nil {
+			return
+		}
+		// Tenant travels per-frame across the mux; fill the connection
+		// default in so backend admission attributes the right tenant.
+		if rf.Tenant == "" {
+			rf.Tenant = hello.Tenant
+		}
+		backend := r.ring.Lookup(RouteKey(rf.Mount))
+		u, err := r.upstream(backend)
+		if err != nil {
+			r.mUpErrors.Inc()
+			cc.send(AppendResp(nil, &RespFrame{ID: rf.ID, Err: fmt.Sprintf("shard %s unreachable: %v", backend, err)}))
+			continue
+		}
+		if err := u.forward(&rf, cc, br.Buffered() == 0); err != nil {
+			r.mUpErrors.Inc()
+			r.dropUpstream(backend, u)
+			cc.send(AppendResp(nil, &RespFrame{ID: rf.ID, Err: fmt.Sprintf("shard %s write failed: %v", backend, err)}))
+		}
+	}
+}
+
+// upstream returns (dialing on first use) the shared connection to backend.
+func (r *Router) upstream(backend string) (*upstream, error) {
+	r.mu.Lock()
+	u, ok := r.upstreams[backend]
+	r.mu.Unlock()
+	if ok {
+		return u, nil
+	}
+	nu, err := r.dialUpstream(backend)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if cur, ok := r.upstreams[backend]; ok {
+		r.mu.Unlock()
+		nu.close()
+		return cur, nil
+	}
+	r.upstreams[backend] = nu
+	r.mu.Unlock()
+	return nu, nil
+}
+
+func (r *Router) dropUpstream(backend string, u *upstream) {
+	r.mu.Lock()
+	if r.upstreams[backend] == u {
+		delete(r.upstreams, backend)
+	}
+	r.mu.Unlock()
+	u.close()
+}
+
+// upstream is one shared backend connection: requests from many client
+// connections mux onto it with globally-unique rewritten ids, and the
+// reader demuxes completions back to their owners.
+type upstream struct {
+	r       *Router
+	backend string
+	conn    net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc []byte
+
+	pmu     sync.Mutex
+	pending map[uint64]pendingRoute
+	closed  bool
+
+	mOps *telemetry.Counter
+}
+
+// pendingRoute maps a rewritten (global) id back to its owner.
+type pendingRoute struct {
+	cc *clientConn
+	id uint64 // the client's original request id
+}
+
+func (r *Router) dialUpstream(backend string) (*upstream, error) {
+	nc, err := net.DialTimeout("tcp", backend, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if _, err := nc.Write(AppendHello(nil, &HelloFrame{Version: ProtoVersion, Tenant: r.tenant})); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, _, err := ReadFrame(br, nil, DefaultMaxPayload)
+	if err != nil || typ != FrameHello {
+		nc.Close()
+		return nil, fmt.Errorf("handshake: %v", err)
+	}
+	if _, err := DecodeHello(payload); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("handshake: %v", err)
+	}
+	nc.SetReadDeadline(time.Time{})
+
+	u := &upstream{
+		r:       r,
+		backend: backend,
+		conn:    nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]pendingRoute),
+		mOps:    r.metrics.Counter("router.backend_ops;backend=" + backend),
+	}
+	r.wg.Add(1)
+	go u.readLoop(br)
+	return u, nil
+}
+
+// forward rewrites the request id and writes the frame upstream, flushing
+// when the client's read side has gone momentarily idle.
+func (u *upstream) forward(rf *ReqFrame, cc *clientConn, flush bool) error {
+	gid := u.r.nextGID.Add(1)
+	u.pmu.Lock()
+	if u.closed {
+		u.pmu.Unlock()
+		return ErrConnClosed
+	}
+	u.pending[gid] = pendingRoute{cc: cc, id: rf.ID}
+	u.pmu.Unlock()
+
+	orig := rf.ID
+	rf.ID = gid
+	u.wmu.Lock()
+	u.enc = AppendReq(u.enc[:0], rf)
+	_, err := u.bw.Write(u.enc)
+	if err == nil && flush {
+		err = u.bw.Flush()
+	}
+	u.wmu.Unlock()
+	rf.ID = orig
+	if err != nil {
+		u.pmu.Lock()
+		delete(u.pending, gid)
+		u.pmu.Unlock()
+		return err
+	}
+	u.r.mForwarded.Inc()
+	u.mOps.Inc()
+	return nil
+}
+
+// readLoop demuxes backend completions to their client connections,
+// rewriting ids back.
+func (u *upstream) readLoop(br *bufio.Reader) {
+	defer u.r.wg.Done()
+	var buf []byte
+	for {
+		typ, payload, nbuf, err := ReadFrame(br, buf, DefaultMaxPayload)
+		if err != nil {
+			break
+		}
+		buf = nbuf
+		var gid uint64
+		var out func(origID uint64) []byte
+		switch typ {
+		case FrameResp:
+			var rf RespFrame
+			if err := DecodeResp(payload, &rf); err != nil {
+				goto done
+			}
+			gid = rf.ID
+			out = func(origID uint64) []byte {
+				rf.ID = origID
+				return AppendResp(nil, &rf)
+			}
+		case FrameBusy:
+			bf, err := DecodeBusy(payload)
+			if err != nil {
+				goto done
+			}
+			gid = bf.ID
+			out = func(origID uint64) []byte {
+				bf.ID = origID
+				return AppendBusy(nil, &bf)
+			}
+		default:
+			continue // pongs etc. have no route
+		}
+		u.pmu.Lock()
+		route, ok := u.pending[gid]
+		delete(u.pending, gid)
+		u.pmu.Unlock()
+		if ok {
+			route.cc.send(out(route.id))
+		}
+	}
+done:
+	// Upstream died: every outstanding request gets an explicit error so
+	// clients never hang on a vanished shard.
+	u.pmu.Lock()
+	u.closed = true
+	routes := make([]pendingRoute, 0, len(u.pending))
+	for _, rt := range u.pending {
+		routes = append(routes, rt)
+	}
+	u.pending = map[uint64]pendingRoute{}
+	u.pmu.Unlock()
+	for _, rt := range routes {
+		rt.cc.send(AppendResp(nil, &RespFrame{ID: rt.id, Err: "shard connection lost: " + u.backend}))
+	}
+	u.r.dropUpstream(u.backend, u)
+}
+
+func (u *upstream) close() {
+	u.pmu.Lock()
+	u.closed = true
+	u.pmu.Unlock()
+	u.conn.Close()
+}

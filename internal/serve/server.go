@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/ipc"
+	"labstor/internal/runtime"
+	"labstor/internal/telemetry"
+)
+
+// Config parameterizes a serving front end.
+type Config struct {
+	// Addr is the TCP listen address (host:0 binds an ephemeral port).
+	Addr string
+	// Batch caps how many decoded frames coalesce into one SubmitBatch
+	// (0 = 32). The reader also flushes whenever the socket has no more
+	// buffered bytes, so latency under light load is one frame.
+	Batch int
+	// MaxPayload bounds one frame's payload (0 = DefaultMaxPayload).
+	MaxPayload int
+	// Default is the admission policy for tenants without an explicit
+	// entry (zero value = no rate limit, 256 inflight).
+	Default TenantPolicy
+	// Tenants are the explicit per-tenant QoS policies.
+	Tenants []TenantPolicy
+	// DemandPollMs is how often the server folds the orchestrator's
+	// per-queue demand estimates into the admission pressure signal
+	// (0 = 50ms, negative disables the feed).
+	DemandPollMs int
+	// HandshakeTimeout bounds the Hello exchange (0 = 5s).
+	HandshakeTimeout time.Duration
+}
+
+// Server is the TCP serving front end: it multiplexes many client
+// connections onto the Runtime's queue-pair fast path. Each connection gets
+// one runtime.Client (one queue pair, placed by the orchestrator like any
+// local client) and three goroutines:
+//
+//	reader    — decodes frames, runs admission, coalesces admitted
+//	            requests into vectored SubmitBatch calls
+//	completer — reaps each submitted batch with WaitAll and encodes
+//	            response frames
+//	writer    — owns the socket write side; busy/pong frames from the
+//	            reader and response frames from the completer interleave
+//
+// Backpressure is explicit end to end: admission rejections are BUSY
+// frames, a full submission ring blocks the reader (TCP pushback), and the
+// completer channel bounds how many submitted-but-unwritten batches exist.
+type Server struct {
+	rt        *runtime.Runtime
+	cfg       Config
+	adm       *Admission
+	ln        net.Listener
+	wg        sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	mAccepted  *telemetry.Counter
+	mFramesIn  *telemetry.Counter
+	mFramesOut *telemetry.Counter
+	mBytesIn   *telemetry.Counter
+	mBytesOut  *telemetry.Counter
+	mBusy      *telemetry.Counter
+	mReqErrs   *telemetry.Counter
+	mProtoErrs *telemetry.Counter
+	gConns     *telemetry.Gauge
+	hBatch     func(float64)
+}
+
+// New builds a Server over a started Runtime. Telemetry lands in the
+// runtime's registry, so serve.* series ride the existing /metrics plane.
+func New(rt *runtime.Runtime, cfg Config) *Server {
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = DefaultMaxPayload
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	reg := rt.Metrics()
+	s := &Server{
+		rt:         rt,
+		cfg:        cfg,
+		adm:        NewAdmission(cfg.Default, cfg.Tenants, reg),
+		quit:       make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		mAccepted:  reg.Counter("serve.accepted"),
+		mFramesIn:  reg.Counter("serve.frames_in"),
+		mFramesOut: reg.Counter("serve.frames_out"),
+		mBytesIn:   reg.Counter("serve.bytes_in"),
+		mBytesOut:  reg.Counter("serve.bytes_out"),
+		mBusy:      reg.Counter("serve.busy"),
+		mReqErrs:   reg.Counter("serve.req_errors"),
+		mProtoErrs: reg.Counter("serve.proto_errors"),
+		gConns:     reg.Gauge("serve.connections"),
+	}
+	h := reg.Histogram("serve.batch_size")
+	s.hBatch = func(v float64) { h.Observe(v) }
+	return s
+}
+
+// Admission exposes the admission controller (tests, manual pressure).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// ListenAndServe binds the configured address and starts accepting. It
+// returns the bound address (for ephemeral ports) without blocking.
+func (s *Server) ListenAndServe() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if s.cfg.DemandPollMs >= 0 {
+		s.wg.Add(1)
+		go s.demandLoop()
+	}
+	return ln.Addr(), nil
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// per-connection pipelines to drain.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.mAccepted.Inc()
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.gConns.Add(1)
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// demandLoop folds the orchestrator's per-queue demand estimates into the
+// admission pressure signal: the sum of utilization rates (cores' worth of
+// measured demand) against the worker pool capacity.
+func (s *Server) demandLoop() {
+	defer s.wg.Done()
+	period := time.Duration(s.cfg.DemandPollMs) * time.Millisecond
+	if period <= 0 {
+		period = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-tick.C:
+			var demand float64
+			for _, d := range s.rt.Orchestrator().QueueDemands() {
+				demand += d.Rate
+			}
+			capacity := float64(s.rt.Options().MaxWorkers)
+			s.adm.SetPressure(demand, capacity)
+		}
+	}
+}
+
+// pendingReq is one admitted request between submission and response.
+type pendingReq struct {
+	req     *core.Request
+	id      uint64         // wire request id
+	payload core.BufHandle // registered payload buffer to release (may be zero)
+	ts      *tenantState
+}
+
+// submittedBatch is one SubmitBatch's worth of requests handed to the
+// completer, plus the submit error (if any) that already doomed them.
+type submittedBatch struct {
+	entries []pendingReq
+	reqs    []*core.Request
+	subErr  error
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.gConns.Add(-1)
+		conn.Close()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	// Handshake: Hello in, Hello (ack) out, bounded by a deadline.
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	typ, payload, buf, err := ReadFrame(br, nil, s.cfg.MaxPayload)
+	if err != nil || typ != FrameHello {
+		s.mProtoErrs.Inc()
+		return
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil || hello.Version != ProtoVersion {
+		s.mProtoErrs.Inc()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	ack := AppendHello(nil, &HelloFrame{Version: ProtoVersion, Tenant: hello.Tenant})
+	if _, err := conn.Write(ack); err != nil {
+		return
+	}
+
+	cli := s.rt.Connect(ipc.Credentials{PID: -1, UID: 0, GID: 0})
+	defer cli.Disconnect()
+	defTenant := s.adm.Tenant(hello.Tenant)
+
+	compCh := make(chan submittedBatch, 64)
+	writeCh := make(chan []byte, 256)
+
+	var pipeWG sync.WaitGroup
+	pipeWG.Add(2)
+	go func() { // completer
+		defer pipeWG.Done()
+		defer close(writeCh)
+		s.completeLoop(cli, compCh, writeCh)
+	}()
+	go func() { // writer
+		defer pipeWG.Done()
+		s.writeLoop(bw, writeCh)
+	}()
+
+	s.readLoop(conn, br, buf, cli, defTenant, compCh, writeCh)
+	close(compCh)
+	pipeWG.Wait()
+}
+
+// readLoop decodes frames, admits, and coalesces runs of same-stack
+// requests into vectored submissions. It returns when the connection dies
+// or the server shuts down.
+func (s *Server) readLoop(conn net.Conn, br *bufio.Reader, buf []byte, cli *runtime.Client,
+	defTenant *tenantState, compCh chan<- submittedBatch, writeCh chan<- []byte) {
+
+	// Per-connection mount cache: resolution is a namespace prefix walk;
+	// connections hammer a handful of mounts.
+	type resolved struct {
+		stack *core.Stack
+		rem   string
+	}
+	mounts := make(map[string]resolved)
+
+	var batch []pendingReq
+	var batchStack *core.Stack
+
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s.hBatch(float64(len(batch)))
+		reqs := make([]*core.Request, len(batch))
+		for i := range batch {
+			reqs[i] = batch[i].req
+		}
+		err := cli.SubmitBatch(batchStack, reqs)
+		compCh <- submittedBatch{entries: batch, reqs: reqs, subErr: err}
+		batch = nil
+		batchStack = nil
+	}
+
+	var rf ReqFrame
+	for {
+		typ, payload, nbuf, err := ReadFrame(br, buf, s.cfg.MaxPayload)
+		if err != nil {
+			if errors.Is(err, ErrTornFrame) || errors.Is(err, ErrFrameSize) {
+				s.mProtoErrs.Inc()
+			}
+			flush()
+			return
+		}
+		buf = nbuf
+		s.mFramesIn.Inc()
+		s.mBytesIn.Add(int64(frameHeader + len(payload)))
+
+		switch typ {
+		case FramePing:
+			id, err := DecodePing(payload)
+			if err != nil {
+				s.mProtoErrs.Inc()
+				flush()
+				return
+			}
+			flush()
+			writeCh <- AppendPing(nil, FramePong, id)
+			continue
+		case FrameReq:
+			// fallthrough to the request path below
+		default:
+			s.mProtoErrs.Inc()
+			flush()
+			return
+		}
+
+		if err := DecodeReq(payload, &rf); err != nil {
+			s.mProtoErrs.Inc()
+			flush()
+			return
+		}
+
+		// Admission: per-request tenant (router-forwarded frames carry their
+		// own), defaulting to the connection's Hello tenant.
+		ts := defTenant
+		if rf.Tenant != "" && rf.Tenant != defTenant.policy.Name {
+			ts = s.adm.Tenant(rf.Tenant)
+		}
+		if ok, reason, retry := s.adm.Admit(ts); !ok {
+			s.mBusy.Inc()
+			flush() // keep response ordering sane under overload
+			writeCh <- AppendBusy(nil, &BusyFrame{ID: rf.ID, Reason: reason, RetryNs: retry})
+			continue
+		}
+
+		// Resolve the stack (exact mount, else namespace prefix walk).
+		res, ok := mounts[rf.Mount]
+		if !ok {
+			if st, found := s.rt.Namespace.Lookup(rf.Mount); found {
+				res = resolved{stack: st}
+			} else if st, rem, found := s.rt.Namespace.Resolve(rf.Mount); found {
+				res = resolved{stack: st, rem: rem}
+			} else {
+				s.adm.Done(ts)
+				s.mReqErrs.Inc()
+				flush()
+				writeCh <- AppendResp(nil, &RespFrame{ID: rf.ID, Err: fmt.Sprintf("no stack serving %q", rf.Mount)})
+				continue
+			}
+			mounts[rf.Mount] = res
+		}
+
+		req := core.AcquireRequest(rf.Op)
+		req.Path = rf.Path
+		if req.Path == "" {
+			req.Path = res.rem
+		}
+		req.Key = rf.Key
+		req.Offset = rf.Offset
+		req.Size = int(rf.Size)
+
+		// Zero-copy hand-off: the wire payload lands in a registered arena
+		// buffer (the one socket->memory copy), and the stack operates on it
+		// in place. Oversized payloads fall back to a plain heap copy.
+		var ph core.BufHandle
+		if len(rf.Payload) > 0 {
+			if h, err := cli.AcquireBuffer(len(rf.Payload)); err == nil {
+				copy(h.Bytes(), rf.Payload)
+				req.SetPayload(h)
+				ph = h
+			} else {
+				req.Data = append([]byte(nil), rf.Payload...)
+			}
+			if req.Size == 0 {
+				req.Size = len(rf.Payload)
+			}
+		}
+
+		// Coalesce: same-stack runs batch into one vectored submission.
+		if batchStack != nil && (batchStack != res.stack || len(batch) >= s.cfg.Batch) {
+			flush()
+		}
+		batchStack = res.stack
+		batch = append(batch, pendingReq{req: req, id: rf.ID, payload: ph, ts: ts})
+
+		// Flush when the wire has nothing more buffered (the batch window
+		// closes with the burst) or the batch is full.
+		if len(batch) >= s.cfg.Batch || br.Buffered() == 0 {
+			flush()
+		}
+	}
+}
+
+// completeLoop reaps submitted batches in order, encodes responses and
+// releases request/payload resources.
+func (s *Server) completeLoop(cli *runtime.Client, compCh <-chan submittedBatch, writeCh chan<- []byte) {
+	for b := range compCh {
+		waitErr := b.subErr
+		if waitErr == nil {
+			waitErr = cli.WaitAll(b.reqs)
+		} else {
+			// Submission failed partway (runtime stopped): WaitAll whatever
+			// did get queued so CQ slots are recycled; already-done requests
+			// return immediately.
+			_ = cli.WaitAll(b.reqs)
+		}
+		out := make([]byte, 0, 64*len(b.entries))
+		for i := range b.entries {
+			e := &b.entries[i]
+			req := e.req
+			resp := RespFrame{ID: e.id}
+			switch {
+			case req.Err != nil:
+				resp.Err = req.Err.Error()
+				s.mReqErrs.Inc()
+			case b.subErr != nil:
+				resp.Err = b.subErr.Error()
+				s.mReqErrs.Inc()
+			default:
+				resp.OK = true
+				resp.Result = req.Result
+				resp.Value = req.Value
+			}
+			out = AppendResp(out, &resp)
+			s.mFramesOut.Inc()
+			// The response bytes are encoded; the request's result buffer
+			// and the registered payload can recycle now.
+			if e.payload.Valid() {
+				e.payload.Release()
+			}
+			req.Release()
+			s.adm.Done(e.ts)
+		}
+		s.mBytesOut.Add(int64(len(out)))
+		writeCh <- out
+	}
+}
+
+// writeLoop owns the socket write side: it drains encoded frames and
+// flushes when the queue goes momentarily empty. On a write error it keeps
+// draining (discarding) so the completer never blocks on a dead peer.
+func (s *Server) writeLoop(bw *bufio.Writer, writeCh <-chan []byte) {
+	dead := false
+	for out := range writeCh {
+		if dead {
+			continue
+		}
+		if _, err := bw.Write(out); err != nil {
+			dead = true
+			continue
+		}
+		if len(writeCh) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+			}
+		}
+	}
+	if !dead {
+		bw.Flush()
+	}
+}

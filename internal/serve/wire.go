@@ -1,0 +1,419 @@
+// Package serve is the LabStor network serving front end: a TCP wire
+// protocol that lets remote clients hit the batched/zero-copy submission
+// fast path, with per-tenant admission control (token-bucket rate limits
+// and inflight caps fed by the orchestrator's demand estimates) and a
+// consistent-hash shard router for scale-out across runtime instances.
+//
+// The wire format is a length-prefixed, CRC-framed binary RPC — the same
+// torn-frame discipline as the labfs metadata log codec, applied to a
+// socket stream. Every frame is
+//
+//	[magic 0xAB][type 1B][payload length 4B LE][payload CRC32 (IEEE) 4B LE][payload]
+//
+// and payloads are fixed varint field sequences per frame type. A CRC
+// mismatch, oversized length, unknown frame type or malformed payload is a
+// protocol error: the peer that detects it closes the connection (a TCP
+// stream that has lost framing cannot be resynchronized).
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"labstor/internal/core"
+)
+
+// Frame types.
+const (
+	// FrameHello opens a connection: proto version + default tenant. The
+	// server answers with its own Hello (the ack) before any requests flow.
+	FrameHello = byte(iota + 1)
+	// FrameReq carries one RPC request (client -> server).
+	FrameReq
+	// FrameResp carries one RPC completion (server -> client).
+	FrameResp
+	// FrameBusy is an explicit admission-control rejection: the request
+	// identified by ID was not queued and should be retried after the hint.
+	FrameBusy
+	// FramePing / FramePong are liveness probes (id echoed back).
+	FramePing
+	FramePong
+)
+
+// ProtoVersion is the current wire protocol version, carried in Hello.
+const ProtoVersion = 1
+
+const (
+	frameMagic  = 0xAB
+	frameHeader = 10 // magic + type + length + crc
+
+	// DefaultMaxPayload bounds a frame payload (data + headers); a length
+	// field above the limit is treated as a torn/hostile frame. 4 MiB covers
+	// the largest arena buffer class (2 MiB) with room for headers.
+	DefaultMaxPayload = 4 << 20
+)
+
+// Busy reasons (RespFrame-free rejections carried by FrameBusy).
+const (
+	// BusyRate: the tenant's token bucket is empty.
+	BusyRate = byte(iota + 1)
+	// BusyInflight: the tenant is at its inflight cap.
+	BusyInflight
+	// BusyOverload: the runtime's measured demand exceeds capacity and the
+	// server is shedding load beyond per-tenant budgets.
+	BusyOverload
+)
+
+// BusyReasonString names a busy reason for logs and metrics.
+func BusyReasonString(r byte) string {
+	switch r {
+	case BusyRate:
+		return "rate"
+	case BusyInflight:
+		return "inflight"
+	case BusyOverload:
+		return "overload"
+	}
+	return fmt.Sprintf("reason(%d)", r)
+}
+
+// Errors surfaced by the codec.
+var (
+	ErrTornFrame  = errors.New("serve: torn or corrupt frame")
+	ErrFrameSize  = errors.New("serve: frame exceeds max payload")
+	ErrBadPayload = errors.New("serve: malformed frame payload")
+)
+
+// HelloFrame is the connection-open handshake.
+type HelloFrame struct {
+	Version uint64
+	// Tenant is the connection's default tenant; a ReqFrame with an empty
+	// Tenant inherits it.
+	Tenant string
+}
+
+// ReqFrame is one RPC request: the fields the ISSUE's RPC contract names —
+// request id, tenant, stack (mount), op, key/offset — plus the payload.
+type ReqFrame struct {
+	ID     uint64
+	Tenant string // empty = connection default
+	Mount  string // namespace path the request is routed by
+	Op     core.Op
+	Path   string // file-interface operand (may be empty)
+	Key    string // KV-interface operand (may be empty)
+	Offset int64
+	Size   int64
+	// Payload is the write-side data. Decoded frames alias the decode
+	// buffer; the server copies it into a registered arena buffer before the
+	// decode buffer is reused.
+	Payload []byte
+}
+
+// RespFrame is one RPC completion.
+type RespFrame struct {
+	ID     uint64
+	OK     bool
+	Result int64
+	Err    string // empty when OK
+	// Value is the read-side data (aliases the decode buffer on decode).
+	Value []byte
+}
+
+// BusyFrame is an admission rejection for one request.
+type BusyFrame struct {
+	ID      uint64
+	Reason  byte
+	RetryNs int64 // suggested client backoff (0 = immediate retry is fine)
+}
+
+// maxWireOp bounds the op codes accepted off the wire (everything the
+// request model defines today; unknown codes are a payload error, so a
+// future op added without bumping this is rejected loudly, not executed).
+const maxWireOp = core.OpIoctl
+
+// appendFrame wraps payload (already appended at dst[start+frameHeader:])
+// with the frame header. Callers reserve the header with reserveFrame.
+func reserveFrame(dst []byte, typ byte) []byte {
+	return append(dst, frameMagic, typ, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+func sealFrame(dst []byte, start int) []byte {
+	payload := dst[start+frameHeader:]
+	binary.LittleEndian.PutUint32(dst[start+2:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+6:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendHello encodes a Hello frame.
+func AppendHello(dst []byte, h *HelloFrame) []byte {
+	start := len(dst)
+	dst = reserveFrame(dst, FrameHello)
+	dst = binary.AppendUvarint(dst, h.Version)
+	dst = appendStr(dst, h.Tenant)
+	return sealFrame(dst, start)
+}
+
+// AppendReq encodes a request frame.
+func AppendReq(dst []byte, r *ReqFrame) []byte {
+	start := len(dst)
+	dst = reserveFrame(dst, FrameReq)
+	dst = binary.AppendUvarint(dst, r.ID)
+	dst = appendStr(dst, r.Tenant)
+	dst = appendStr(dst, r.Mount)
+	dst = append(dst, byte(r.Op))
+	dst = appendStr(dst, r.Path)
+	dst = appendStr(dst, r.Key)
+	dst = binary.AppendVarint(dst, r.Offset)
+	dst = binary.AppendVarint(dst, r.Size)
+	dst = appendBytes(dst, r.Payload)
+	return sealFrame(dst, start)
+}
+
+// AppendResp encodes a response frame.
+func AppendResp(dst []byte, r *RespFrame) []byte {
+	start := len(dst)
+	dst = reserveFrame(dst, FrameResp)
+	dst = binary.AppendUvarint(dst, r.ID)
+	ok := byte(0)
+	if r.OK {
+		ok = 1
+	}
+	dst = append(dst, ok)
+	dst = binary.AppendVarint(dst, r.Result)
+	dst = appendStr(dst, r.Err)
+	dst = appendBytes(dst, r.Value)
+	return sealFrame(dst, start)
+}
+
+// AppendBusy encodes a busy frame.
+func AppendBusy(dst []byte, b *BusyFrame) []byte {
+	start := len(dst)
+	dst = reserveFrame(dst, FrameBusy)
+	dst = binary.AppendUvarint(dst, b.ID)
+	dst = append(dst, b.Reason)
+	dst = binary.AppendVarint(dst, b.RetryNs)
+	return sealFrame(dst, start)
+}
+
+// AppendPing encodes a ping (or pong, by type) frame.
+func AppendPing(dst []byte, typ byte, id uint64) []byte {
+	start := len(dst)
+	dst = reserveFrame(dst, typ)
+	dst = binary.AppendUvarint(dst, id)
+	return sealFrame(dst, start)
+}
+
+// DecodeFrame splits the first frame off b: type, payload (aliasing b) and
+// the remaining bytes. It performs the same torn-frame discipline as the
+// labfs record codec: bad magic, short header/body, oversized length or CRC
+// mismatch is ErrTornFrame / ErrFrameSize.
+func DecodeFrame(b []byte, maxPayload int) (typ byte, payload, rest []byte, err error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if len(b) < frameHeader {
+		return 0, nil, b, ErrTornFrame
+	}
+	if b[0] != frameMagic {
+		return 0, nil, b, ErrTornFrame
+	}
+	typ = b[1]
+	if typ == 0 || typ > FramePong {
+		return 0, nil, b, ErrTornFrame
+	}
+	plen := int(binary.LittleEndian.Uint32(b[2:6]))
+	if plen < 0 || plen > maxPayload {
+		return 0, nil, b, ErrFrameSize
+	}
+	if frameHeader+plen > len(b) {
+		return 0, nil, b, ErrTornFrame
+	}
+	payload = b[frameHeader : frameHeader+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[6:10]) {
+		return 0, nil, b, ErrTornFrame
+	}
+	return typ, payload, b[frameHeader+plen:], nil
+}
+
+// ReadFrame reads one whole frame from r into buf (growing it as needed)
+// and returns the type, the payload (aliasing buf) and the possibly-grown
+// buffer. Streaming counterpart of DecodeFrame.
+func ReadFrame(r *bufio.Reader, buf []byte, maxPayload int) (typ byte, payload, nbuf []byte, err error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	if hdr[0] != frameMagic {
+		return 0, nil, buf, ErrTornFrame
+	}
+	typ = hdr[1]
+	if typ == 0 || typ > FramePong {
+		return 0, nil, buf, ErrTornFrame
+	}
+	plen := int(binary.LittleEndian.Uint32(hdr[2:6]))
+	if plen < 0 || plen > maxPayload {
+		return 0, nil, buf, ErrFrameSize
+	}
+	if cap(buf) < plen {
+		buf = make([]byte, plen)
+	}
+	buf = buf[:plen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	if crc32.ChecksumIEEE(buf) != binary.LittleEndian.Uint32(hdr[6:10]) {
+		return 0, nil, buf, ErrTornFrame
+	}
+	return typ, buf, buf, nil
+}
+
+// fieldDecoder walks a payload's fixed field sequence, latching any
+// malformation (the labfs varintDecoder pattern).
+type fieldDecoder struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *fieldDecoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *fieldDecoder) varint() int64 {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *fieldDecoder) byte() byte {
+	if d.off >= len(d.b) {
+		d.bad = true
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *fieldDecoder) str() string {
+	ln := d.uvarint()
+	if d.bad || ln > uint64(len(d.b)-d.off) {
+		d.bad = true
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(ln)])
+	d.off += int(ln)
+	return s
+}
+
+func (d *fieldDecoder) bytes() []byte {
+	ln := d.uvarint()
+	if d.bad || ln > uint64(len(d.b)-d.off) {
+		d.bad = true
+		return nil
+	}
+	b := d.b[d.off : d.off+int(ln) : d.off+int(ln)]
+	d.off += int(ln)
+	return b
+}
+
+func (d *fieldDecoder) done() bool { return !d.bad && d.off == len(d.b) }
+
+// DecodeHello decodes a Hello payload.
+func DecodeHello(payload []byte) (HelloFrame, error) {
+	var h HelloFrame
+	d := fieldDecoder{b: payload}
+	h.Version = d.uvarint()
+	h.Tenant = d.str()
+	if !d.done() {
+		return HelloFrame{}, ErrBadPayload
+	}
+	return h, nil
+}
+
+// DecodeReq decodes a request payload into r. The Payload field aliases the
+// input buffer.
+func DecodeReq(payload []byte, r *ReqFrame) error {
+	d := fieldDecoder{b: payload}
+	r.ID = d.uvarint()
+	r.Tenant = d.str()
+	r.Mount = d.str()
+	op := core.Op(d.byte())
+	r.Op = op
+	r.Path = d.str()
+	r.Key = d.str()
+	r.Offset = d.varint()
+	r.Size = d.varint()
+	r.Payload = d.bytes()
+	if !d.done() || op > maxWireOp {
+		*r = ReqFrame{}
+		return ErrBadPayload
+	}
+	return nil
+}
+
+// DecodeResp decodes a response payload into r. Value aliases the input.
+func DecodeResp(payload []byte, r *RespFrame) error {
+	d := fieldDecoder{b: payload}
+	r.ID = d.uvarint()
+	ok := d.byte()
+	r.Result = d.varint()
+	r.Err = d.str()
+	r.Value = d.bytes()
+	if !d.done() || ok > 1 {
+		*r = RespFrame{}
+		return ErrBadPayload
+	}
+	r.OK = ok == 1
+	return nil
+}
+
+// DecodeBusy decodes a busy payload.
+func DecodeBusy(payload []byte) (BusyFrame, error) {
+	var b BusyFrame
+	d := fieldDecoder{b: payload}
+	b.ID = d.uvarint()
+	b.Reason = d.byte()
+	b.RetryNs = d.varint()
+	if !d.done() || b.Reason < BusyRate || b.Reason > BusyOverload {
+		return BusyFrame{}, ErrBadPayload
+	}
+	return b, nil
+}
+
+// DecodePing decodes a ping/pong payload (the echoed id).
+func DecodePing(payload []byte) (uint64, error) {
+	d := fieldDecoder{b: payload}
+	id := d.uvarint()
+	if !d.done() {
+		return 0, ErrBadPayload
+	}
+	return id, nil
+}

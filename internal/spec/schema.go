@@ -192,6 +192,57 @@ type ObserveSpec struct {
 	BundleMax int
 }
 
+// TenantSpec is one tenant's admission-control policy in a serve: block.
+type TenantSpec struct {
+	Name string
+	// RatePerSec is the token-bucket refill rate (0 = unlimited).
+	RatePerSec float64
+	// Burst is the bucket depth (0 = max(rate/10, 32)).
+	Burst float64
+	// Inflight caps the tenant's concurrently admitted requests (0 = the
+	// server default budget).
+	Inflight int
+}
+
+// ServeSpec configures the network serving front end (and, when shards are
+// listed, the consistent-hash routing proxy):
+//
+//	serve:
+//	  addr: 127.0.0.1:7600     # empty = serving disabled
+//	  batch: 32                # coalesced SubmitBatch window
+//	  max_payload_mb: 4
+//	  demand_poll_ms: 50       # orchestrator demand -> admission pressure
+//	  default:
+//	    inflight: 256
+//	  tenants:
+//	    - name: gold
+//	      rate_per_sec: 50000
+//	      burst: 1000
+//	      inflight: 512
+//	  shards: [127.0.0.1:7601, 127.0.0.1:7602]   # run as router over these
+//	  replicas: 64             # ring virtual points per shard
+type ServeSpec struct {
+	// Addr is the TCP listen address ("" disables serving; host:0 binds an
+	// ephemeral port).
+	Addr string
+	// Batch is the per-connection coalescing window (0 = default 32).
+	Batch int
+	// MaxPayloadMB bounds a single frame's payload (0 = default 4 MiB).
+	MaxPayloadMB int
+	// DemandPollMs is the orchestrator-demand poll period feeding admission
+	// pressure (0 = default 50ms, negative disables the feed).
+	DemandPollMs int
+	// Default is the policy for tenants without an explicit entry.
+	Default TenantSpec
+	// Tenants lists per-tenant policies.
+	Tenants []TenantSpec
+	// Shards, when non-empty, runs this process as a shard router proxying
+	// to the listed backend serve addresses instead of serving locally.
+	Shards []string
+	// Replicas is the ring's virtual-point count per shard (0 = default 64).
+	Replicas int
+}
+
 // SLOSpec is one per-stack service-level objective:
 //
 //	slo:
@@ -237,6 +288,7 @@ type RuntimeConfig struct {
 	Orchestrator OrchestratorSpec
 	NUMA         NUMASpec
 	Observe      ObserveSpec
+	Serve        ServeSpec
 	SLOs         []SLOSpec
 	Devices      []DeviceSpec
 	Repos        []string
@@ -304,6 +356,49 @@ func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
 		cfg.Observe.BundleProfileMs = ob.Int("bundle_profile_ms", cfg.Observe.BundleProfileMs)
 		cfg.Observe.BundleCooldownMs = ob.Int("bundle_cooldown_ms", cfg.Observe.BundleCooldownMs)
 		cfg.Observe.BundleMax = ob.Int("bundle_max", cfg.Observe.BundleMax)
+	}
+	if sv := root.Get("serve"); sv != nil {
+		cfg.Serve.Addr = sv.Str("addr", cfg.Serve.Addr)
+		cfg.Serve.Batch = sv.Int("batch", cfg.Serve.Batch)
+		cfg.Serve.MaxPayloadMB = sv.Int("max_payload_mb", cfg.Serve.MaxPayloadMB)
+		cfg.Serve.DemandPollMs = sv.Int("demand_poll_ms", cfg.Serve.DemandPollMs)
+		parseTenant := func(n *Node, ts *TenantSpec) error {
+			ts.Name = n.Str("name", ts.Name)
+			ts.RatePerSec = n.Float("rate_per_sec", ts.RatePerSec)
+			ts.Burst = n.Float("burst", ts.Burst)
+			ts.Inflight = n.Int("inflight", ts.Inflight)
+			if ts.RatePerSec < 0 || ts.Burst < 0 || ts.Inflight < 0 {
+				return fmt.Errorf("spec: serve tenant %q has a negative limit", ts.Name)
+			}
+			return nil
+		}
+		if def := sv.Get("default"); def != nil {
+			if err := parseTenant(def, &cfg.Serve.Default); err != nil {
+				return nil, err
+			}
+		}
+		if tns := sv.Get("tenants"); tns != nil && tns.IsList() {
+			seen := make(map[string]bool)
+			for i, tn := range tns.List() {
+				var ts TenantSpec
+				if err := parseTenant(tn, &ts); err != nil {
+					return nil, err
+				}
+				if ts.Name == "" {
+					return nil, fmt.Errorf("spec: serve.tenants[%d] is missing 'name'", i)
+				}
+				if seen[ts.Name] {
+					return nil, fmt.Errorf("spec: duplicate serve tenant %q", ts.Name)
+				}
+				seen[ts.Name] = true
+				cfg.Serve.Tenants = append(cfg.Serve.Tenants, ts)
+			}
+		}
+		cfg.Serve.Shards = sv.Strings("shards")
+		cfg.Serve.Replicas = sv.Int("replicas", cfg.Serve.Replicas)
+		if len(cfg.Serve.Shards) > 0 && cfg.Serve.Addr == "" {
+			return nil, fmt.Errorf("spec: serve.shards requires serve.addr (the router listen address)")
+		}
 	}
 	if slos := root.Get("slo"); slos != nil && slos.IsList() {
 		for i, sn := range slos.List() {

@@ -492,3 +492,79 @@ numa:
 		t.Fatal("negative numa.nodes accepted")
 	}
 }
+
+func TestParseServeBlock(t *testing.T) {
+	cfg, err := ParseRuntimeConfig(`
+serve:
+  addr: 127.0.0.1:7600
+  batch: 48
+  max_payload_mb: 8
+  demand_poll_ms: 25
+  default:
+    inflight: 128
+  tenants:
+    - name: gold
+      rate_per_sec: 50000
+      burst: 1000
+      inflight: 512
+    - name: bronze
+      rate_per_sec: 500
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := cfg.Serve
+	if sv.Addr != "127.0.0.1:7600" || sv.Batch != 48 || sv.MaxPayloadMB != 8 || sv.DemandPollMs != 25 {
+		t.Fatalf("serve %+v", sv)
+	}
+	if sv.Default.Inflight != 128 {
+		t.Fatalf("default policy %+v", sv.Default)
+	}
+	if len(sv.Tenants) != 2 {
+		t.Fatalf("tenants %+v", sv.Tenants)
+	}
+	if g := sv.Tenants[0]; g.Name != "gold" || g.RatePerSec != 50000 || g.Burst != 1000 || g.Inflight != 512 {
+		t.Fatalf("gold %+v", g)
+	}
+	if b := sv.Tenants[1]; b.Name != "bronze" || b.RatePerSec != 500 || b.Burst != 0 {
+		t.Fatalf("bronze %+v", b)
+	}
+
+	// Router mode: shards list + replicas.
+	cfg, err = ParseRuntimeConfig(`
+serve:
+  addr: 127.0.0.1:7600
+  replicas: 32
+  shards: [127.0.0.1:7601, 127.0.0.1:7602]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Serve.Shards) != 2 || cfg.Serve.Replicas != 32 {
+		t.Fatalf("router serve %+v", cfg.Serve)
+	}
+
+	// Omitted section leaves serving disabled.
+	cfg, err = ParseRuntimeConfig("runtime:\n  workers: 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Serve.Addr != "" || len(cfg.Serve.Tenants) != 0 {
+		t.Fatalf("serve default %+v", cfg.Serve)
+	}
+}
+
+func TestParseServeBlockErrors(t *testing.T) {
+	if _, err := ParseRuntimeConfig("serve:\n  shards: [a:1]\n"); err == nil {
+		t.Fatal("shards without addr accepted")
+	}
+	if _, err := ParseRuntimeConfig("serve:\n  addr: x\n  tenants:\n    - rate_per_sec: 5\n"); err == nil {
+		t.Fatal("tenant without name accepted")
+	}
+	if _, err := ParseRuntimeConfig("serve:\n  addr: x\n  tenants:\n    - name: a\n    - name: a\n"); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+	if _, err := ParseRuntimeConfig("serve:\n  addr: x\n  tenants:\n    - name: a\n      inflight: -1\n"); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}

@@ -47,4 +47,5 @@ gate() {
 gate BENCH_hotpath.json hotpath batched_mops
 gate BENCH_contention.json contention striped_c8_mops
 gate BENCH_zerocopy.json zerocopy mapped_c8_mops
+gate BENCH_serve.json serve direct_c1000_ops_per_s
 exit 0

@@ -6,10 +6,14 @@
 #   4. hot-path soak: the lock-free ring and worker/client hot path, twice
 #      under the race detector with shuffled test order, to surface
 #      ordering-dependent races the single straight-line pass can miss.
-#   5. observe smoke: boot labstor-runtime with the observability server on
+#   5. fuzz smoke: a short native-fuzzing run of the wire-protocol frame
+#      decoder (serve.* RPC framing) to catch parser regressions early.
+#   6. observe smoke: boot labstor-runtime with the observability server on
 #      an ephemeral port and assert /metrics and /snapshot serve payloads.
-#   6. bench gate (warn-only): fresh hotpath bench vs the committed
-#      BENCH_hotpath.json baseline; >10% regression warns, never fails.
+#   7. serve smoke: boot labstor-runtime with the network front end on an
+#      ephemeral port, drive RPCs via labctl, assert serve.* on /metrics.
+#   8. bench gate (warn-only): fresh benches vs the committed BENCH_*.json
+#      baselines; >10% regression warns, never fails.
 # Run from the repository root (or via `make check`).
 set -eu
 cd "$(dirname "$0")/.."
@@ -26,14 +30,20 @@ go vet ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
-echo "== go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/... ./internal/telemetry/... ./internal/obs/... =="
-go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/... ./internal/telemetry/... ./internal/obs/...
+echo "== go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/... ./internal/telemetry/... ./internal/obs/... ./internal/serve/... =="
+go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/... ./internal/telemetry/... ./internal/obs/... ./internal/serve/...
 
 echo "== bench smoke: go test -bench=. -benchtime=1x -run '^$' ./... =="
 go test -bench=. -benchtime=1x -run '^$' ./...
 
+echo "== fuzz smoke: FuzzFrameDecode -fuzztime 5s =="
+go test -run '^$' -fuzz FuzzFrameDecode -fuzztime 5s ./internal/serve
+
 echo "== observe smoke: scripts/obs_smoke.sh =="
 sh scripts/obs_smoke.sh
+
+echo "== serve smoke: scripts/serve_smoke.sh =="
+sh scripts/serve_smoke.sh
 
 echo "== bench gate (warn-only): scripts/bench_gate.sh =="
 sh scripts/bench_gate.sh
