@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-hotpath bench-contention bench-zerocopy bench-observe bench-attribution bench-serve bench-gate telemetry obs-smoke serve-smoke fuzz
+.PHONY: build test vet race check bench bench-hotpath bench-contention bench-zerocopy bench-observe bench-attribution bench-serve bench-pushdown bench-gate telemetry obs-smoke serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,13 @@ bench-attribution:
 bench-serve:
 	$(GO) run ./cmd/labbench -exp serve -json BENCH_serve.json
 
+# bench-pushdown runs the computation-pushdown selectivity ladder (KVS scan
+# + FS grep, direct and over TCP) and hard-fails unless 1%-selectivity
+# pushdown beats client-side filtering >=3x on bytes moved and on 8-client
+# jobs/s (BENCH_pushdown.json).
+bench-pushdown:
+	$(GO) run ./cmd/labbench -exp pushdown -json BENCH_pushdown.json
+
 # bench-gate reruns the hotpath bench and warns (never fails) when batched
 # throughput regressed >10% vs the committed BENCH_hotpath.json.
 bench-gate:
@@ -74,9 +81,11 @@ obs-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-# fuzz smoke-runs the wire-protocol frame decoder fuzzer.
+# fuzz smoke-runs the wire-protocol frame decoder and YAML spec builder
+# fuzzers.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzSpecParse -fuzztime 10s ./internal/spec
 
 # telemetry runs the probe workload and dumps the runtime snapshot.
 telemetry:

@@ -139,6 +139,13 @@ var catalog = []experiment{
 		}
 		return experiments.Serve(conns, ops)
 	}},
+	{"pushdown", "Computation pushdown: selectivity ladder, bytes moved vs client-side filtering", func(quick bool) (*experiments.Result, error) {
+		recs := 512
+		if quick {
+			recs = 200
+		}
+		return experiments.Pushdown(recs, 4096, 8)
+	}},
 }
 
 func main() {

@@ -41,6 +41,7 @@ func init() {
 		{"top", "[-interval 1s] [-count N] <host:port>", "refreshing terminal view of a live runtime's /snapshot", cmdTop},
 		{"profile", "[-json] <host:port>", "latency-attribution tables from a live runtime's /profile", cmdProfile},
 		{"serve", "-addr <host:port> [-tenant t] <ping|msg|put|get|del|has> [mount] [key] [value]", "one-shot RPC against a live serving front end", cmdServe},
+		{"scan", "-addr <host:port> [-tenant t] <mount> <program> [prefix|path]", "run a pushdown scan (filter/aggregate program) against a live front end", cmdScan},
 	}
 }
 
@@ -66,7 +67,7 @@ func cmdTypes(_ []string) {
 }
 
 func cmdValidate(args []string) {
-	ss := loadStack(args)
+	ss := loadStack("validate", args)
 	if err := validate(ss); err != nil {
 		fatal("validate: %v", err)
 	}
@@ -74,12 +75,12 @@ func cmdValidate(args []string) {
 }
 
 func cmdShow(args []string) {
-	show(loadStack(args))
+	show(loadStack("show", args))
 }
 
 func cmdConfig(args []string) {
 	if len(args) < 1 {
-		usage()
+		usageFor("config")
 	}
 	raw, err := os.ReadFile(args[0])
 	if err != nil {
@@ -101,6 +102,10 @@ func cmdConfig(args []string) {
 			fmt.Printf("serve: %s batch=%d tenants=%d\n", cfg.Serve.Addr, cfg.Serve.Batch, len(cfg.Serve.Tenants))
 		}
 	}
+	if len(cfg.Pushdown.Programs) > 0 || len(cfg.Pushdown.Allow) > 0 {
+		fmt.Printf("pushdown: programs=%d allow=%v max_scan_mb=%d tenants=%d\n",
+			len(cfg.Pushdown.Programs), cfg.Pushdown.Allow, cfg.Pushdown.MaxScanMB, len(cfg.Pushdown.Tenants))
+	}
 	for _, s := range cfg.SLOs {
 		fmt.Printf("slo: %s p99_us=%g max_err_rate=%g\n", s.Stack, s.P99Us, s.MaxErrRate)
 	}
@@ -109,9 +114,9 @@ func cmdConfig(args []string) {
 	}
 }
 
-func loadStack(args []string) *spec.StackSpec {
+func loadStack(cmd string, args []string) *spec.StackSpec {
 	if len(args) < 1 {
-		usage()
+		usageFor(cmd)
 	}
 	raw, err := os.ReadFile(args[0])
 	if err != nil {
@@ -175,7 +180,7 @@ func cmdStats(args []string) {
 		case "-addr", "--addr":
 			i++
 			if i >= len(args) {
-				usage()
+				usageFor("stats")
 			}
 			addr = args[i]
 		default:
@@ -191,7 +196,7 @@ func cmdStats(args []string) {
 		return
 	}
 	if path == "" {
-		usage()
+		usageFor("stats")
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -206,6 +211,18 @@ func cmdStats(args []string) {
 		fatal("stats: %v", err)
 	}
 	printSnapshot(snap, asJSON)
+}
+
+// usageFor prints one command's usage line — bad arguments to a known
+// command should not bury the answer in the full table.
+func usageFor(name string) {
+	for _, c := range commands {
+		if c.name == name {
+			fmt.Fprintf(os.Stderr, "usage: labctl %s\n", strings.TrimSpace(c.name+" "+c.args))
+			os.Exit(2)
+		}
+	}
+	usage()
 }
 
 func usage() {

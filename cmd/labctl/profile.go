@@ -25,7 +25,7 @@ func cmdProfile(args []string) {
 		}
 	}
 	if addr == "" {
-		usage()
+		usageFor("profile")
 	}
 
 	var resp obs.ProfileResponse

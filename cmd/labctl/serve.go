@@ -2,8 +2,10 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"labstor/internal/core"
+	"labstor/internal/mods/pushdown"
 	"labstor/internal/serve"
 )
 
@@ -21,13 +23,13 @@ func cmdServe(args []string) {
 		case "-addr", "--addr":
 			i++
 			if i >= len(args) {
-				usage()
+				usageFor("serve")
 			}
 			addr = args[i]
 		case "-tenant", "--tenant":
 			i++
 			if i >= len(args) {
-				usage()
+				usageFor("serve")
 			}
 			tenant = args[i]
 		default:
@@ -35,7 +37,7 @@ func cmdServe(args []string) {
 		}
 	}
 	if addr == "" || len(rest) == 0 {
-		usage()
+		usageFor("serve")
 	}
 	if tenant == "" {
 		tenant = "labctl"
@@ -56,7 +58,7 @@ func cmdServe(args []string) {
 		return
 	}
 	if len(rest) < 2 {
-		usage()
+		usageFor("serve")
 	}
 	rf := serve.ReqFrame{Mount: rest[1]}
 	switch op {
@@ -64,22 +66,22 @@ func cmdServe(args []string) {
 		rf.Op = core.OpMessage
 	case "put":
 		if len(rest) < 4 {
-			usage()
+			usageFor("serve")
 		}
 		rf.Op, rf.Key, rf.Payload = core.OpPut, rest[2], []byte(rest[3])
 	case "get":
 		if len(rest) < 3 {
-			usage()
+			usageFor("serve")
 		}
 		rf.Op, rf.Key = core.OpGet, rest[2]
 	case "del":
 		if len(rest) < 3 {
-			usage()
+			usageFor("serve")
 		}
 		rf.Op, rf.Key = core.OpDel, rest[2]
 	case "has":
 		if len(rest) < 3 {
-			usage()
+			usageFor("serve")
 		}
 		rf.Op, rf.Key = core.OpHas, rest[2]
 	default:
@@ -98,5 +100,71 @@ func cmdServe(args []string) {
 		fmt.Printf("%s\n", res.Resp.Value[:res.Resp.Result])
 	default:
 		fmt.Printf("OK result=%d\n", res.Resp.Result)
+	}
+}
+
+// cmdScan runs one pushdown scan against a live front end: a registered
+// program (name or pd:<hash> ref) filters or aggregates where the data
+// lives, and only the result crosses the wire.
+//
+//	labctl scan -addr 127.0.0.1:7600 kv::/bench errs logs/
+//	labctl scan -addr 127.0.0.1:7600 fs::/data grep-error app.log
+func cmdScan(args []string) {
+	var addr, tenant string
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; a {
+		case "-addr", "--addr":
+			i++
+			if i >= len(args) {
+				usageFor("scan")
+			}
+			addr = args[i]
+		case "-tenant", "--tenant":
+			i++
+			if i >= len(args) {
+				usageFor("scan")
+			}
+			tenant = args[i]
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if addr == "" || len(rest) < 2 {
+		usageFor("scan")
+	}
+	if tenant == "" {
+		tenant = "labctl"
+	}
+	mount, prog := rest[0], rest[1]
+	c, err := serve.Dial(addr, tenant)
+	if err != nil {
+		fatal("scan: dial %s: %v", addr, err)
+	}
+	defer c.Close()
+
+	rf := serve.ReqFrame{Op: core.OpScan, Mount: mount, Prog: prog}
+	if len(rest) > 2 {
+		// KVS stacks treat this as a key prefix, FS stacks as a file path.
+		rf.Key, rf.Path = rest[2], rest[2]
+	}
+	res, err := c.DoRetry(&rf, 8)
+	if err != nil {
+		fatal("scan: %v", err)
+	}
+	if e := res.Err(); e != nil {
+		fatal("scan: %v", e)
+	}
+	if len(res.Resp.Value) == 0 {
+		// Aggregate program: the scalar is the whole answer.
+		fmt.Printf("result=%d\n", res.Resp.Result)
+		return
+	}
+	// Filter program: print matches. Try KV framing first; fall back to raw.
+	if err := pushdown.DecodeKV(res.Resp.Value, func(key string, val []byte) error {
+		fmt.Printf("%s\t%d bytes\n", key, len(val))
+		return nil
+	}); err != nil {
+		os.Stdout.Write(res.Resp.Value)
 	}
 }

@@ -74,7 +74,7 @@ func cmdTop(args []string) {
 		case "-interval", "--interval":
 			i++
 			if i >= len(args) {
-				usage()
+				usageFor("top")
 			}
 			d, err := time.ParseDuration(args[i])
 			if err != nil || d <= 0 {
@@ -84,7 +84,7 @@ func cmdTop(args []string) {
 		case "-count", "--count":
 			i++
 			if i >= len(args) {
-				usage()
+				usageFor("top")
 			}
 			if _, err := fmt.Sscanf(args[i], "%d", &count); err != nil || count < 0 {
 				fatal("top: bad -count %q", args[i])
@@ -94,7 +94,7 @@ func cmdTop(args []string) {
 		}
 	}
 	if addr == "" {
-		usage()
+		usageFor("top")
 	}
 
 	var prevProcessed int64

@@ -97,13 +97,20 @@ func main() {
 			defer rtr.Close()
 			fmt.Printf("serve: routing on %s across %d shards\n", bound, len(cfg.Serve.Shards))
 		} else {
-			fe := serve.New(rt, serve.ConfigFromSpec(cfg.Serve))
+			scfg := serve.ConfigFromSpec(cfg.Serve)
+			if err := scfg.WithPushdown(cfg.Pushdown); err != nil {
+				fatal("pushdown: %v", err)
+			}
+			fe := serve.New(rt, scfg)
 			bound, err := fe.ListenAndServe()
 			if err != nil {
 				fatal("serve: %v", err)
 			}
 			defer fe.Close()
 			fmt.Printf("serve: listening on %s\n", bound)
+			if scfg.Pushdown != nil {
+				fmt.Printf("pushdown: %d programs registered\n", len(scfg.Pushdown.Registry().Programs()))
+			}
 		}
 	}
 

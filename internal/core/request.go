@@ -48,6 +48,9 @@ const (
 	// Control and diagnostics.
 	OpMessage
 	OpIoctl
+	// Computation pushdown: run a registered program against the data
+	// where it lives (KVS scan-with-predicate, FS grep-offload).
+	OpScan
 )
 
 var opNames = map[Op]string{
@@ -58,7 +61,7 @@ var opNames = map[Op]string{
 	OpPut: "put", OpGet: "get", OpDel: "del", OpHas: "has",
 	OpBlockRead: "block_read", OpBlockWrite: "block_write",
 	OpBlockFlush: "block_flush", OpBlockDiscard: "block_discard",
-	OpMessage: "message", OpIoctl: "ioctl",
+	OpMessage: "message", OpIoctl: "ioctl", OpScan: "scan",
 }
 
 func (o Op) String() string {
@@ -121,6 +124,16 @@ type Request struct {
 	Cred     Cred // caller credentials for permission checking
 	Hctx     int  // hardware dispatch queue selected by an I/O scheduler
 	DirectIO bool
+
+	// Prog references a registered pushdown program (OpScan): either a
+	// content-hash ref or a registered name resolved to one by the policy
+	// layer. Empty means plain scan (list keys / full read).
+	Prog string
+	// ProgMaxBytes / ProgMaxSteps are the per-request execution budgets a
+	// pushdown policy clamped onto the request; 0 means the evaluator's
+	// built-in defaults apply.
+	ProgMaxBytes int64
+	ProgMaxSteps int64
 
 	// Stack routing state.
 	StackID int

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	"labstor/internal/mods/pushdown"
+	"labstor/internal/runtime"
+	"labstor/internal/telemetry"
+)
+
+// TestPushdownScanCopyContract is the copies/op contract for computation
+// pushdown, measured from the same CopySite audit the zerocopy suite uses:
+//
+//   - a CACHED aggregate scan makes 0 payload copies — every record block
+//     is a retained in-place cache view, and an aggregate emits nothing;
+//   - an UNCACHED aggregate scan makes exactly 1 payload copy per record
+//     block — the DMA fill (device.dma_read) — and nothing else.
+//
+// Any memcpy a refactor sneaks onto the scan path (staging, assembly,
+// defensive copies) breaks this test by name.
+func TestPushdownScanCopyContract(t *testing.T) {
+	prog, err := pushdown.Default.Register("contract-count", "count where u32@0 == 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nRecs = 32
+	const valSize = 4096 // exactly one block: uncached = 1 DMA per record
+
+	run := func(cached bool) map[string]int64 {
+		rt := runtime.New(runtime.Options{MaxWorkers: 2, QueueDepth: 1024})
+		rt.AddDevice(device.New("dev0", device.NVMe, 128<<20))
+		defer rt.Shutdown()
+		mount := fmt.Sprintf("kv::/cc%v", cached)
+		stack, err := MountLab(rt, mount, "dev0", LabCfg{KV: true, Cache: cached, Driver: "kernel_driver"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Start()
+		cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+
+		val := make([]byte, valSize)
+		binary.LittleEndian.PutUint32(val, 1)
+		for i := 0; i < nRecs; i++ {
+			req := core.AcquireRequest(core.OpPut)
+			req.Key = fmt.Sprintf("c/%02d", i)
+			req.Size = valSize
+			req.Data = val
+			err := cli.SubmitStack(stack, req)
+			reqErr := req.Err
+			req.Release()
+			if err != nil || reqErr != nil {
+				t.Fatalf("put: %v / %v", err, reqErr)
+			}
+		}
+
+		before := telemetry.CopySiteStats()
+		req := core.AcquireRequest(core.OpScan)
+		req.Key = "c/"
+		req.Prog = prog.Ref
+		err = cli.SubmitStack(stack, req)
+		reqErr := req.Err
+		result := req.Result
+		req.Release()
+		if err != nil || reqErr != nil {
+			t.Fatalf("scan: %v / %v", err, reqErr)
+		}
+		if result != nRecs {
+			t.Fatalf("scan count = %d, want %d", result, nRecs)
+		}
+		after := telemetry.CopySiteStats()
+
+		deltas := map[string]int64{}
+		for i, s := range after {
+			if d := s.Count - before[i].Count; d != 0 {
+				deltas[s.Site] = d
+			}
+		}
+		return deltas
+	}
+
+	// Cached: the LRU holds handle-backed pages from the write inserts and
+	// hands out retained views — the scan itself copies nothing.
+	if deltas := run(true); len(deltas) != 0 {
+		t.Errorf("cached pushdown scan made payload copies: %v (want none)", deltas)
+	}
+
+	// Uncached: each record block is DMA-filled into a stack-owned handle —
+	// exactly one copy per record, all at device.dma_read.
+	deltas := run(false)
+	if deltas["device.dma_read"] != nRecs {
+		t.Errorf("uncached scan dma_read = %d, want %d", deltas["device.dma_read"], nRecs)
+	}
+	delete(deltas, "device.dma_read")
+	if len(deltas) != 0 {
+		t.Errorf("uncached scan made extra copies beyond the DMA fill: %v", deltas)
+	}
+}

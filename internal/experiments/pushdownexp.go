@@ -1,0 +1,534 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"labstor/internal/core"
+	"labstor/internal/device"
+	"labstor/internal/ipc"
+	"labstor/internal/mods/pushdown"
+	"labstor/internal/runtime"
+	"labstor/internal/serve"
+)
+
+// Pushdown measures computation pushdown (this PR's tentpole): running
+// filter/aggregate programs where the data lives instead of shipping
+// blocks to the client. A selectivity ladder (100%/10%/1% match rates)
+// compares bytes moved and throughput for
+//
+//   - KVS scan-with-predicate, in-process ("direct"),
+//   - LabFS grep-offload, in-process,
+//   - KVS scan over TCP, measured at the wire (serve.bytes_out deltas),
+//   - an 8-client analysis workload over TCP: jobs/s where one job is
+//     "find the 1% matching records" — N gets + client-side filtering vs
+//     one pushdown scan.
+//
+// The experiment HARD-FAILS (returns an error) when the tentpole's
+// promises stop holding:
+//   - at 1% selectivity, pushdown must move >= 3x fewer bytes than
+//     client-side filtering, both direct and over TCP;
+//   - the 8-client pushdown workload must beat client-side filtering on
+//     jobs/s;
+//   - per-request execution budgets must abort over-budget scans;
+//   - per-tenant allow-lists must reject un-allowed programs over TCP.
+func Pushdown(nRecs, valSize, clients int) (*Result, error) {
+	if nRecs <= 0 {
+		nRecs = 512
+	}
+	if valSize <= 0 {
+		valSize = 4096
+	}
+	if clients <= 0 {
+		clients = 8
+	}
+
+	res := &Result{Name: "Computation pushdown: selectivity ladder (bytes moved, ops/s)"}
+	res.Table = newTable("leg", "selectivity", "client bytes", "pushdown bytes", "ratio")
+	res.V("n_recs", float64(nRecs))
+	res.V("val_size", float64(valSize))
+
+	// One dataset serves every selectivity: u32 field at offset 0 cycles
+	// 0..99, so "< 100" matches everything, "< 10" a tenth, "< 1" one in
+	// a hundred.
+	sels := []struct {
+		name string
+		pct  int
+		src  string
+	}{
+		{"sel100", 100, "filter where u32@0 < 100"},
+		{"sel10", 10, "filter where u32@0 < 10"},
+		{"sel1", 1, "filter where u32@0 < 1"},
+	}
+	for _, s := range sels {
+		if _, err := pushdown.Default.Register(s.name, s.src); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- KVS scan-with-predicate, direct ----
+	if err := pushdownKVSDirect(res, nRecs, valSize, sels); err != nil {
+		return nil, err
+	}
+	// ---- LabFS grep-offload, direct ----
+	if err := pushdownFSGrep(res, nRecs); err != nil {
+		return nil, err
+	}
+	// ---- Over TCP: wire bytes + the 8-client analysis workload ----
+	if err := pushdownTCP(res, nRecs, valSize, clients); err != nil {
+		return nil, err
+	}
+
+	// The tentpole's bytes-moved promise, checked where it is easiest to
+	// regress: 1% selectivity, both boundaries.
+	for _, key := range []string{"kvs_direct_ratio_sel1", "fs_direct_ratio_sel1", "tcp_ratio_sel1"} {
+		if r := res.Values[key]; r < 3 {
+			return nil, fmt.Errorf("pushdown %s = %.2fx, want >= 3x fewer bytes than client-side filtering", key, r)
+		}
+	}
+	if res.Values["jobs8_speedup"] <= 1 {
+		return nil, fmt.Errorf("8-client pushdown jobs/s (%.1f) did not beat client-side filtering (%.1f)",
+			res.Values["jobs8_pd_per_s"], res.Values["jobs8_client_per_s"])
+	}
+
+	res.Notes = fmt.Sprintf(
+		"%d records x %dB; one analysis job = find the 1%% matching records; bytes ratios are client-side-filtering bytes / pushdown bytes (direct = payload bytes crossing the stack boundary, tcp = serve.bytes_out deltas); budget and allow-list enforcement verified in-run (scan aborted at %.0fB cap, locked tenant denied)",
+		nRecs, valSize, res.Values["budget_cap_bytes"])
+	return res, nil
+}
+
+// pushdownKVSDirect loads records into a cached KVS stack and compares
+// client-side filtering (get every record, filter locally) against
+// scan-with-predicate, counting payload bytes that crossed the stack
+// boundary. Also verifies the per-request byte budget aborts the scan.
+func pushdownKVSDirect(res *Result, nRecs, valSize int, sels []struct {
+	name string
+	pct  int
+	src  string
+}) error {
+	rt := runtime.New(runtime.Options{MaxWorkers: 2, QueueDepth: 4096})
+	rt.AddDevice(device.New("dev0", device.NVMe, 256<<20))
+	defer rt.Shutdown()
+	stack, err := MountLab(rt, "kv::/pd", "dev0", LabCfg{KV: true, Cache: true, Driver: "kernel_driver"})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+
+	val := make([]byte, valSize)
+	for i := 0; i < nRecs; i++ {
+		val[0] = byte(i % 100) // u32@0 low byte; bytes 1-3 stay zero
+		req := core.AcquireRequest(core.OpPut)
+		req.Key = fmt.Sprintf("pd/%05d", i)
+		req.Size = valSize
+		req.Data = val
+		err := cli.SubmitStack(stack, req)
+		reqErr := req.Err
+		req.Release()
+		if err != nil || reqErr != nil {
+			return fmt.Errorf("put: %v / %v", err, reqErr)
+		}
+	}
+
+	// Client-side filtering: every record crosses the boundary, the
+	// predicate runs in the client. Bytes moved is selectivity-blind.
+	clientBytes := int64(0)
+	matched := make([]int, len(sels))
+	for i := 0; i < nRecs; i++ {
+		req := core.AcquireRequest(core.OpGet)
+		req.Key = fmt.Sprintf("pd/%05d", i)
+		err := cli.SubmitStack(stack, req)
+		if err == nil && req.Err == nil {
+			clientBytes += req.Result
+			v := req.Value
+			if len(v) == 0 {
+				v = req.Data
+			}
+			for si, s := range sels {
+				if len(v) >= 4 && int(v[0]) < s.pct {
+					matched[si]++
+				}
+			}
+		}
+		reqErr := req.Err
+		req.Release()
+		if err != nil || reqErr != nil {
+			return fmt.Errorf("get: %v / %v", err, reqErr)
+		}
+	}
+	res.V("kvs_direct_client_bytes", float64(clientBytes))
+
+	for si, s := range sels {
+		req := core.AcquireRequest(core.OpScan)
+		req.Key = "pd/"
+		req.Prog = s.name
+		err := cli.SubmitStack(stack, req)
+		if err != nil || req.Err != nil {
+			e := req.Err
+			req.Release()
+			return fmt.Errorf("scan %s: %v / %v", s.name, err, e)
+		}
+		pdBytes := int64(len(req.Value))
+		// Correctness: the pushdown result holds exactly the records the
+		// client-side filter found.
+		n := 0
+		decErr := pushdown.DecodeKV(req.Value, func(key string, v []byte) error {
+			if len(v) != valSize || int(v[0]) >= s.pct {
+				return fmt.Errorf("wrong match %q (tag %d)", key, v[0])
+			}
+			n++
+			return nil
+		})
+		req.Release()
+		if decErr != nil {
+			return fmt.Errorf("scan %s: %v", s.name, decErr)
+		}
+		if n != matched[si] {
+			return fmt.Errorf("scan %s matched %d records, client-side filter %d", s.name, n, matched[si])
+		}
+		ratio := float64(clientBytes) / float64(pdBytes)
+		res.V("kvs_direct_pd_bytes_"+s.name, float64(pdBytes))
+		res.V("kvs_direct_ratio_"+s.name, ratio)
+		res.Table.AddRowf("kvs direct", fmt.Sprintf("%d%%", s.pct), float64(clientBytes), float64(pdBytes), ratio)
+	}
+
+	// Budget enforcement: a scan capped far below the dataset must abort
+	// with ErrBudget, not silently return a partial result.
+	const budgetCap = 4096
+	req := core.AcquireRequest(core.OpScan)
+	req.Key = "pd/"
+	req.Prog = "sel1"
+	req.ProgMaxBytes = budgetCap
+	err = cli.SubmitStack(stack, req)
+	reqErr := req.Err
+	req.Release()
+	if !errors.Is(reqErr, pushdown.ErrBudget) && !errors.Is(err, pushdown.ErrBudget) {
+		return fmt.Errorf("byte budget not enforced: scan under a %dB cap returned %v / %v", budgetCap, err, reqErr)
+	}
+	res.V("budget_cap_bytes", budgetCap)
+	res.V("budget_enforced", 1)
+	return nil
+}
+
+// pushdownFSGrep writes a log file and compares "read the whole file,
+// grep in the client" against grep-offload.
+func pushdownFSGrep(res *Result, nLines int) error {
+	nLines *= 4 // lines are much smaller than KVS records
+	rt := runtime.New(runtime.Options{MaxWorkers: 2, QueueDepth: 4096})
+	rt.AddDevice(device.New("dev0", device.NVMe, 256<<20))
+	defer rt.Shutdown()
+	stack, err := MountLab(rt, "fs::/pd", "dev0", LabCfg{Cache: true, Driver: "kernel_driver"})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	cli := rt.Connect(ipc.Credentials{PID: 1, UID: 0, GID: 0})
+
+	// lvl cycles 00..99: substr "lvl=00 " is 1%, "lvl=0" 10%, "lvl=" 100%.
+	var log bytes.Buffer
+	for i := 0; i < nLines; i++ {
+		fmt.Fprintf(&log, "lvl=%02d req=%06d path=/api/v1/items latency_us=%04d\n", i%100, i, 100+i%900)
+	}
+	data := log.Bytes()
+	wr := core.AcquireRequest(core.OpWrite)
+	wr.Path = "app.log"
+	wr.Flags = core.FlagCreate
+	wr.Size = len(data)
+	wr.Data = data
+	err = cli.SubmitStack(stack, wr)
+	wrErr := wr.Err
+	wr.Release()
+	if err != nil || wrErr != nil {
+		return fmt.Errorf("write log: %v / %v", err, wrErr)
+	}
+
+	grepSels := []struct {
+		name string
+		pct  int
+		src  string
+	}{
+		{"grep100", 100, `filter where substr "lvl="`},
+		{"grep10", 10, `filter where substr "lvl=0"`},
+		{"grep1", 1, `filter where substr "lvl=00 "`},
+	}
+	// Client-side grep: the whole file crosses the boundary.
+	rd := core.AcquireRequest(core.OpRead)
+	rd.Path = "app.log"
+	rd.Size = len(data)
+	rd.Data = make([]byte, len(data))
+	err = cli.SubmitStack(stack, rd)
+	rdErr := rd.Err
+	clientBytes := rd.Result
+	got := append([]byte(nil), rd.Data[:rd.Result]...)
+	rd.Release()
+	if err != nil || rdErr != nil {
+		return fmt.Errorf("read log: %v / %v", err, rdErr)
+	}
+	res.V("fs_direct_client_bytes", float64(clientBytes))
+
+	for _, s := range grepSels {
+		prog, err := pushdown.Default.Register(s.name, s.src)
+		if err != nil {
+			return err
+		}
+		// What the client-side grep finds...
+		needle := []byte(strings.TrimSuffix(strings.TrimPrefix(s.src, `filter where substr "`), `"`))
+		wantLines := 0
+		for _, line := range bytes.Split(got, []byte{'\n'}) {
+			if len(line) > 0 && bytes.Contains(line, needle) {
+				wantLines++
+			}
+		}
+		// ...grep-offload must find too, moving only those lines.
+		req := core.AcquireRequest(core.OpScan)
+		req.Path = "app.log"
+		req.Prog = prog.Ref
+		err = cli.SubmitStack(stack, req)
+		if err != nil || req.Err != nil {
+			e := req.Err
+			req.Release()
+			return fmt.Errorf("grep %s: %v / %v", s.name, err, e)
+		}
+		pdBytes := int64(len(req.Value))
+		gotLines := bytes.Count(req.Value, []byte{'\n'})
+		req.Release()
+		if gotLines != wantLines {
+			return fmt.Errorf("grep %s matched %d lines, client-side grep %d", s.name, gotLines, wantLines)
+		}
+		ratio := float64(clientBytes) / float64(pdBytes)
+		pct := fmt.Sprintf("%d%%", s.pct)
+		sel := "sel" + pct[:len(pct)-1]
+		res.V("fs_direct_pd_bytes_"+sel, float64(pdBytes))
+		res.V("fs_direct_ratio_"+sel, ratio)
+		res.Table.AddRowf("fs grep", pct, float64(clientBytes), float64(pdBytes), ratio)
+	}
+	return nil
+}
+
+// pushdownTCP boots a serving front end with a pushdown policy, loads the
+// dataset over the wire, and measures (a) wire bytes out for client-side
+// filtering vs scan per selectivity rung, (b) jobs/s at `clients`
+// connections, and (c) that tenant allow-lists and budget caps enforce at
+// the server boundary.
+func pushdownTCP(res *Result, nRecs, valSize, clients int) error {
+	pol := pushdown.NewPolicy(nil, []string{"sel*"}, pushdown.Caps{})
+	pol.SetTenant("locked", pushdown.TenantRule{}) // deny-all
+	pol.SetTenant("tiny", pushdown.TenantRule{
+		Allow: []string{"sel*"},
+		Caps:  pushdown.Caps{MaxBytes: 16 << 10}, // far below the dataset
+	})
+
+	rt := runtime.New(runtime.Options{MaxWorkers: 2, QueueDepth: 4096, Batch: 8})
+	rt.AddDevice(device.New("dev0", device.NVMe, 256<<20))
+	defer rt.Shutdown()
+	if _, err := MountLab(rt, "kv::/pd", "dev0", LabCfg{KV: true, Cache: true, Driver: "kernel_driver"}); err != nil {
+		return err
+	}
+	rt.Start()
+	srv := serve.New(rt, serve.Config{
+		Addr:     "127.0.0.1:0",
+		Pushdown: pol,
+		Default:  serve.TenantPolicy{Inflight: 1 << 20},
+		Tenants: []serve.TenantPolicy{
+			{Name: "locked", RatePerSec: 1e6, Burst: 1e6},
+			{Name: "tiny", RatePerSec: 1e6, Burst: 1e6},
+		},
+	})
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	c, err := serveDial(addr.String(), "bench")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	const mount = "kv::/pd"
+	val := make([]byte, valSize)
+	for i := 0; i < nRecs; i++ {
+		val[0] = byte(i % 100)
+		r, err := c.Do(&serve.ReqFrame{Op: core.OpPut, Mount: mount, Key: fmt.Sprintf("pd/%05d", i), Payload: val})
+		if err != nil || r.Err() != nil {
+			return fmt.Errorf("tcp put: %v / %v", err, r.Err())
+		}
+	}
+
+	bytesOut := rt.Metrics().Counter("serve.bytes_out")
+
+	// Client-side filtering at the wire: every record's payload comes back.
+	getAll := func(conn *serve.Conn) (int, error) {
+		matched := 0
+		window := make([]serve.ReqFrame, 0, 64)
+		flushWin := func() error {
+			if len(window) == 0 {
+				return nil
+			}
+			results, err := conn.Pipeline(window)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				if r.Err() != nil {
+					return r.Err()
+				}
+				if len(r.Resp.Value) >= 4 && r.Resp.Value[0] < 1 {
+					matched++
+				}
+			}
+			window = window[:0]
+			return nil
+		}
+		for i := 0; i < nRecs; i++ {
+			window = append(window, serve.ReqFrame{Op: core.OpGet, Mount: mount, Key: fmt.Sprintf("pd/%05d", i)})
+			if len(window) == 64 {
+				if err := flushWin(); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return matched, flushWin()
+	}
+
+	b0 := bytesOut.Value()
+	clientMatched, err := getAll(c)
+	if err != nil {
+		return fmt.Errorf("tcp client-side pass: %v", err)
+	}
+	clientBytes := bytesOut.Value() - b0
+	res.V("tcp_client_bytes", float64(clientBytes))
+
+	for _, s := range []struct {
+		name string
+		pct  int
+	}{{"sel100", 100}, {"sel10", 10}, {"sel1", 1}} {
+		b0 := bytesOut.Value()
+		r, err := c.Do(&serve.ReqFrame{Op: core.OpScan, Mount: mount, Key: "pd/", Prog: s.name})
+		if err != nil || r.Err() != nil {
+			return fmt.Errorf("tcp scan %s: %v / %v", s.name, err, r.Err())
+		}
+		pdBytes := bytesOut.Value() - b0
+		if s.pct == 1 {
+			n := 0
+			if err := pushdown.DecodeKV(r.Resp.Value, func(string, []byte) error { n++; return nil }); err != nil {
+				return err
+			}
+			if n != clientMatched {
+				return fmt.Errorf("tcp scan sel1 matched %d, client-side %d", n, clientMatched)
+			}
+		}
+		ratio := float64(clientBytes) / float64(pdBytes)
+		res.V("tcp_pd_bytes_"+s.name, float64(pdBytes))
+		res.V("tcp_ratio_"+s.name, ratio)
+		res.Table.AddRowf("kvs tcp", fmt.Sprintf("%d%%", s.pct), float64(clientBytes), float64(pdBytes), ratio)
+	}
+
+	// Allow-list enforcement at the server boundary.
+	cl, err := serveDial(addr.String(), "locked")
+	if err != nil {
+		return err
+	}
+	r, err := cl.Do(&serve.ReqFrame{Op: core.OpScan, Mount: mount, Key: "pd/", Prog: "sel1"})
+	cl.Close()
+	if err != nil {
+		return err
+	}
+	if r.Err() == nil {
+		return fmt.Errorf("tenant allow-list not enforced: locked tenant's scan succeeded")
+	}
+	res.V("allowlist_enforced", 1)
+
+	// Tenant budget clamp enforcement through the full remote path.
+	ct, err := serveDial(addr.String(), "tiny")
+	if err != nil {
+		return err
+	}
+	r, err = ct.Do(&serve.ReqFrame{Op: core.OpScan, Mount: mount, Key: "pd/", Prog: "sel1"})
+	ct.Close()
+	if err != nil {
+		return err
+	}
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "budget") {
+		return fmt.Errorf("tenant budget cap not enforced over TCP: %v", r.Err())
+	}
+	res.V("budget_tcp_enforced", 1)
+
+	// The analysis workload: `clients` connections each running "find the
+	// 1% matching records" jobs for a fixed wall-clock window.
+	const window = 300 * time.Millisecond
+	runJobs := func(job func(*serve.Conn) error) (float64, error) {
+		conns := make([]*serve.Conn, clients)
+		for i := range conns {
+			cc, err := serveDial(addr.String(), "bench")
+			if err != nil {
+				return 0, err
+			}
+			defer cc.Close()
+			conns[i] = cc
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		jobs, firstErr := 0, error(nil)
+		start := time.Now()
+		for _, cc := range conns {
+			wg.Add(1)
+			go func(cc *serve.Conn) {
+				defer wg.Done()
+				n := 0
+				for time.Since(start) < window {
+					if err := job(cc); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					n++
+				}
+				mu.Lock()
+				jobs += n
+				mu.Unlock()
+			}(cc)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		return float64(jobs) / time.Since(start).Seconds(), nil
+	}
+
+	clientJobs, err := runJobs(func(cc *serve.Conn) error {
+		_, err := getAll(cc)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("client-side jobs: %v", err)
+	}
+	pdJobs, err := runJobs(func(cc *serve.Conn) error {
+		r, err := cc.DoRetry(&serve.ReqFrame{Op: core.OpScan, Mount: mount, Key: "pd/", Prog: "sel1"}, 4)
+		if err != nil {
+			return err
+		}
+		return r.Err()
+	})
+	if err != nil {
+		return fmt.Errorf("pushdown jobs: %v", err)
+	}
+	res.V("jobs8_client_per_s", clientJobs)
+	res.V("jobs8_pd_per_s", pdJobs)
+	speedup := 0.0
+	if clientJobs > 0 {
+		speedup = pdJobs / clientJobs
+	}
+	res.V("jobs8_speedup", speedup)
+	res.Table.AddRowf(fmt.Sprintf("%d-client jobs/s", clients), "1%", clientJobs, pdJobs, speedup)
+	return nil
+}

@@ -14,5 +14,6 @@ import (
 	_ "labstor/internal/mods/labkvs"
 	_ "labstor/internal/mods/lru"
 	_ "labstor/internal/mods/perm"
+	_ "labstor/internal/mods/pushdown"
 	_ "labstor/internal/mods/readahead"
 )

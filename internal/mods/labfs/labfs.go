@@ -14,12 +14,14 @@
 package labfs
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 
 	"labstor/internal/core"
+	"labstor/internal/mods/pushdown"
 	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
@@ -74,6 +76,8 @@ type LabFS struct {
 	// ("labfs.<uuid>.<op>"). Built once in Configure, read-only after —
 	// a map read plus one atomic add per request.
 	opCount map[core.Op]*telemetry.Counter
+	// pdStats are the shared pushdown.* counters (grep-offload scans).
+	pdStats pushdown.Stats
 }
 
 // Info describes the module.
@@ -135,10 +139,12 @@ func (f *LabFS) Configure(cfg core.Config, env *core.Env) error {
 			core.OpCreate, core.OpOpen, core.OpMkdir, core.OpWrite, core.OpAppend,
 			core.OpRead, core.OpStat, core.OpUnlink, core.OpRmdir, core.OpRename,
 			core.OpTruncate, core.OpReaddir, core.OpFsync, core.OpClose,
+			core.OpScan,
 		} {
 			f.opCount[op] = env.Metrics.Counter("labfs." + name + "." + op.String())
 		}
 	}
+	f.pdStats = pushdown.Counters(env.Metrics)
 	return nil
 }
 
@@ -182,6 +188,8 @@ func (f *LabFS) Process(e *core.Exec, req *core.Request) error {
 		return f.truncate(e, req)
 	case core.OpReaddir:
 		return f.readdir(req)
+	case core.OpScan:
+		return f.scanExec(e, req)
 	case core.OpFsync, core.OpClose:
 		return f.fsync(e, req)
 	default:
@@ -749,6 +757,117 @@ func (f *LabFS) read(e *core.Exec, req *core.Request) error {
 	f.reads++
 	f.statsMu.Unlock()
 	req.Result = read
+	return nil
+}
+
+// scanExec is the grep-offload path: it runs a registered pushdown
+// program over a file's lines without moving the file to the caller.
+// Blocks are read through the stack below with no destination buffer (a
+// warm cache hands back retained in-place views), lines are split against
+// those views, and only matching lines (or a scalar aggregate) are
+// emitted. A line spanning a block boundary carries its partial prefix
+// forward — the only copy the streaming path makes.
+func (f *LabFS) scanExec(e *core.Exec, req *core.Request) error {
+	if req.Prog == "" {
+		req.Err = fmt.Errorf("labfs: %w: scan needs a program ref", core.ErrNotSupported)
+		return req.Err
+	}
+	prog, ok := pushdown.Default.Lookup(req.Prog)
+	if !ok {
+		req.Err = fmt.Errorf("%w: %q", pushdown.ErrUnknownProgram, req.Prog)
+		return nil
+	}
+	f.chargeMeta(e, req, req.Path)
+	ino, ok := f.table.Get(req.Path)
+	if !ok {
+		req.Err = fmt.Errorf("%w: %q", ErrNotFound, req.Path)
+		return req.Err
+	}
+	if ino.IsDir {
+		req.Err = fmt.Errorf("%w: %q", ErrIsDir, req.Path)
+		return req.Err
+	}
+	ev := pushdown.NewEval(prog, pushdown.EmitRaw, req.ProgMaxBytes, req.ProgMaxSteps)
+	bs := int64(f.blockSize)
+	base := req.Clock
+	var carry []byte
+	var trip error
+	for off := int64(0); off < ino.Size && trip == nil; off += bs {
+		n := bs
+		if off+n > ino.Size {
+			n = ino.Size - off
+		}
+		var view []byte
+		var h core.BufHandle
+		if phys, have := ino.Blocks[off/bs]; have {
+			child := req.Child(core.OpBlockRead)
+			child.Clock = base
+			child.Offset = phys * bs
+			child.Size = f.blockSize
+			err := e.Next(child)
+			req.Absorb(child)
+			if err != nil || child.Err != nil {
+				if child.ValueH.Valid() {
+					child.ValueH.Release()
+				}
+				if err == nil {
+					err = child.Err
+				}
+				req.Err = err
+				return err
+			}
+			view = child.Value
+			if view == nil {
+				view = child.Data
+			}
+			view = view[:n]
+			h = child.ValueH
+		} else {
+			view = make([]byte, n) // hole: zeros
+		}
+		start := 0
+		for start < len(view) {
+			nl := bytes.IndexByte(view[start:], '\n')
+			if nl < 0 {
+				break
+			}
+			line := view[start : start+nl]
+			var err error
+			if len(carry) > 0 {
+				_, err = ev.Record("", carry, line)
+				carry = carry[:0]
+			} else {
+				_, err = ev.Record("", line)
+			}
+			if err != nil {
+				trip = err
+				break
+			}
+			start += nl + 1
+		}
+		if trip == nil && start < len(view) {
+			pushdown.CopyCarry.Add(len(view) - start)
+			carry = append(carry, view[start:]...)
+		}
+		if h.Valid() {
+			h.Release()
+		}
+	}
+	if trip == nil && len(carry) > 0 {
+		_, trip = ev.Record("", carry)
+	}
+	req.Charge("pushdown", e.Model.Pushdown(int(ev.BytesScanned())))
+	f.pdStats.Execs.Inc()
+	f.pdStats.Records.Add(ev.Records())
+	f.pdStats.Bytes.Add(ev.BytesScanned())
+	f.pdStats.Matches.Add(ev.Matched())
+	f.pdStats.EmitBytes.Add(ev.EmitBytes())
+	if trip != nil {
+		f.pdStats.BudgetTrips.Inc()
+		req.Err = trip
+		return nil
+	}
+	ev.Finish(req)
 	return nil
 }
 

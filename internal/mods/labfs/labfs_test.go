@@ -2,8 +2,10 @@ package labfs_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"labstor/internal/core"
@@ -11,6 +13,7 @@ import (
 	"labstor/internal/mods/driver"
 	"labstor/internal/mods/labfs"
 	"labstor/internal/mods/modtest"
+	"labstor/internal/mods/pushdown"
 )
 
 func mountFS(t *testing.T, h *modtest.Harness, uuid string, attrs map[string]string) *core.Stack {
@@ -532,5 +535,126 @@ func TestConfigureErrors(t *testing.T) {
 	// Log bigger than the device.
 	if err := f.Configure(core.Config{Attrs: map[string]string{"device": "dev0", "log_mb": "64"}}, h.Env); err == nil {
 		t.Fatal("oversized log accepted")
+	}
+}
+
+func TestGrepOffload(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 128<<20)
+	s := mountFS(t, h, "fs", nil)
+	// Lines sized so several span block boundaries (block = 4096).
+	var data []byte
+	var want []string
+	for i := 0; i < 200; i++ {
+		line := fmt.Sprintf("line %03d %s", i, string(bytes.Repeat([]byte{'x'}, 50+i%37)))
+		if i%10 == 0 {
+			line += " ERROR hit"
+			want = append(want, line)
+		}
+		data = append(data, line...)
+		data = append(data, '\n')
+	}
+	if err := h.Run(t, s, modtest.WriteReq("app.log", 0, data)); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := pushdown.Default.Register("grep-error", `filter where substr "ERROR"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRequest(core.OpScan)
+	r.Path = "app.log"
+	r.Prog = prog.Ref
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Split(strings.TrimSuffix(string(r.Value), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("grep matched %d lines, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d: %q != %q", i, got[i], want[i])
+		}
+	}
+
+	// Aggregate flavor: count matches without emitting anything.
+	cnt := core.NewRequest(core.OpScan)
+	cnt.Path = "app.log"
+	cnt.Prog = "grep-error"
+	if err := h.Run(t, s, cnt); err != nil {
+		t.Fatal(err)
+	}
+	// grep-error is a filter; register a count program for the same needle.
+	cprog, err := pushdown.Default.Register("count-error", `count where substr "ERROR"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt2 := core.NewRequest(core.OpScan)
+	cnt2.Path = "app.log"
+	cnt2.Prog = cprog.Ref
+	if err := h.Run(t, s, cnt2); err != nil {
+		t.Fatal(err)
+	}
+	if int(cnt2.Result) != len(want) {
+		t.Fatalf("count = %d, want %d", cnt2.Result, len(want))
+	}
+}
+
+func TestGrepOffloadErrors(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 128<<20)
+	s := mountFS(t, h, "fs", nil)
+
+	// No program ref: labfs scans need one.
+	bare := core.NewRequest(core.OpScan)
+	bare.Path = "missing.log"
+	if err := h.Run(t, s, bare); err == nil {
+		t.Fatal("scan without program succeeded")
+	}
+
+	prog, err := pushdown.Default.Register("grep-x", `filter where substr "x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing file.
+	r := core.NewRequest(core.OpScan)
+	r.Path = "missing.log"
+	r.Prog = prog.Ref
+	if err := h.Run(t, s, r); !errors.Is(err, labfs.ErrNotFound) {
+		t.Fatalf("missing file: %v", err)
+	}
+
+	// Budget trip on a large file.
+	if err := h.Run(t, s, modtest.WriteReq("big.log", 0, bytes.Repeat([]byte("xy\n"), 8000))); err != nil {
+		t.Fatal(err)
+	}
+	tight := core.NewRequest(core.OpScan)
+	tight.Path = "big.log"
+	tight.Prog = prog.Ref
+	tight.ProgMaxSteps = 10
+	if err := h.Run(t, s, tight); !errors.Is(err, pushdown.ErrBudget) {
+		t.Fatalf("budget trip: %v", err)
+	}
+}
+
+func TestGrepOffloadSparse(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 128<<20)
+	s := mountFS(t, h, "fs", nil)
+	// Write a block at offset 8192 leaving a 2-block hole; hole bytes read
+	// as zeros and must not break line splitting.
+	tail := []byte("hole-end MARK line\n")
+	if err := h.Run(t, s, modtest.WriteReq("sparse.bin", 8192, tail)); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := pushdown.Default.Register("grep-mark", `filter where substr "MARK"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRequest(core.OpScan)
+	r.Path = "sparse.bin"
+	r.Prog = prog.Ref
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(r.Value, []byte("MARK")) {
+		t.Fatalf("sparse grep missed the marker: %d bytes", len(r.Value))
 	}
 }

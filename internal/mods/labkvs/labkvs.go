@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"labstor/internal/core"
+	"labstor/internal/mods/pushdown"
 	"labstor/internal/telemetry"
 	"labstor/internal/vtime"
 )
@@ -82,6 +83,8 @@ type LabKVS struct {
 	// opCount maps each handled op to its runtime metrics counter
 	// ("labkvs.<uuid>.<op>"); built in Configure, read-only after.
 	opCount map[core.Op]*telemetry.Counter
+	// pdStats are the shared pushdown.* counters (scan-with-predicate).
+	pdStats pushdown.Stats
 }
 
 type atomic64 struct {
@@ -153,11 +156,12 @@ func (k *LabKVS) Configure(cfg core.Config, env *core.Env) error {
 		k.opCount = make(map[core.Op]*telemetry.Counter)
 		for _, op := range []core.Op{
 			core.OpPut, core.OpGet, core.OpDel, core.OpHas,
-			core.OpReaddir, core.OpFsync,
+			core.OpReaddir, core.OpFsync, core.OpScan,
 		} {
 			k.opCount[op] = env.Metrics.Counter("labkvs." + name + "." + op.String())
 		}
 	}
+	k.pdStats = pushdown.Counters(env.Metrics)
 	return nil
 }
 
@@ -205,6 +209,8 @@ func (k *LabKVS) Process(e *core.Exec, req *core.Request) error {
 		return k.has(req)
 	case core.OpReaddir: // scan: list keys with prefix req.Path
 		return k.scan(req)
+	case core.OpScan: // scan-with-predicate: run a pushdown program in place
+		return k.scanExec(e, req)
 	case core.OpFsync:
 		return k.flushLog(e, req)
 	default:
@@ -399,6 +405,114 @@ func (k *LabKVS) scan(req *core.Request) error {
 	req.Names = keys
 	req.Result = int64(len(keys))
 	return nil
+}
+
+// scanExec runs a registered pushdown program over every record whose key
+// matches the request prefix (Key, falling back to Path) — the
+// scan-with-predicate path. Record blocks are read through the stack
+// below with no destination buffer, so a warm LRU hands back retained
+// in-place views (0 payload copies) and a cold read lands one DMA fill;
+// the program evaluates against those views and only matches (or a
+// scalar aggregate) travel up. Without a program ref this degrades to the
+// key-listing scan.
+func (k *LabKVS) scanExec(e *core.Exec, req *core.Request) error {
+	if req.Prog == "" {
+		if req.Path == "" {
+			req.Path = req.Key
+		}
+		return k.scan(req)
+	}
+	prog, ok := pushdown.Default.Lookup(req.Prog)
+	if !ok {
+		req.Err = fmt.Errorf("%w: %q", pushdown.ErrUnknownProgram, req.Prog)
+		return nil
+	}
+	prefix := req.Key
+	if prefix == "" {
+		prefix = req.Path
+	}
+	k.chargeMeta(e, req, prefix)
+	// Snapshot matching records under the shard locks; block reads happen
+	// outside them (records are immutable once installed — puts replace
+	// the *record pointer, and freed blocks of replaced records are only
+	// rewritten by later puts, which this scan is unordered against
+	// anyway).
+	var recs []*record
+	for i := range k.shards {
+		sh := &k.shards[i]
+		sh.mu.RLock()
+		for key, rec := range sh.recs {
+			if prefix == "" || strings.HasPrefix(key, prefix) {
+				recs = append(recs, rec)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+
+	ev := pushdown.NewEval(prog, pushdown.EmitKV, req.ProgMaxBytes, req.ProgMaxSteps)
+	chunks := make([][]byte, 0, 4)
+	handles := make([]core.BufHandle, 0, 4)
+	for _, rec := range recs {
+		chunks = chunks[:0]
+		handles = handles[:0]
+		for i, phys := range rec.Blocks {
+			child := req.Child(core.OpBlockRead)
+			child.Offset = phys * int64(k.blockSize)
+			child.Size = k.blockSize
+			err := e.Next(child)
+			req.Absorb(child)
+			if err != nil || child.Err != nil {
+				if child.ValueH.Valid() {
+					child.ValueH.Release()
+				}
+				for _, h := range handles {
+					h.Release()
+				}
+				if err == nil {
+					err = child.Err
+				}
+				req.Err = err
+				return err
+			}
+			lo := i * k.blockSize
+			hi := lo + k.blockSize
+			if hi > rec.Size {
+				hi = rec.Size
+			}
+			view := child.Value
+			if view == nil {
+				view = child.Data
+			}
+			chunks = append(chunks, view[:hi-lo])
+			if child.ValueH.Valid() {
+				handles = append(handles, child.ValueH)
+			}
+		}
+		_, err := ev.Record(rec.Key, chunks...)
+		for _, h := range handles {
+			h.Release()
+		}
+		if err != nil {
+			k.pdStats.BudgetTrips.Inc()
+			k.finishScan(e, req, ev)
+			req.Err = err
+			return nil
+		}
+	}
+	k.finishScan(e, req, ev)
+	ev.Finish(req)
+	return nil
+}
+
+// finishScan charges the evaluated bytes and publishes pushdown.* counters.
+func (k *LabKVS) finishScan(e *core.Exec, req *core.Request, ev *pushdown.Eval) {
+	req.Charge("pushdown", e.Model.Pushdown(int(ev.BytesScanned())))
+	k.pdStats.Execs.Inc()
+	k.pdStats.Records.Add(ev.Records())
+	k.pdStats.Bytes.Add(ev.BytesScanned())
+	k.pdStats.Matches.Add(ev.Matched())
+	k.pdStats.EmitBytes.Add(ev.EmitBytes())
 }
 
 // --- log ----------------------------------------------------------------------

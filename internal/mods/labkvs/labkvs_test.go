@@ -2,6 +2,8 @@ package labkvs_test
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -13,6 +15,7 @@ import (
 	_ "labstor/internal/mods/generic"
 	"labstor/internal/mods/labkvs"
 	"labstor/internal/mods/modtest"
+	"labstor/internal/mods/pushdown"
 )
 
 func mountKVS(t *testing.T, h *modtest.Harness) *core.Stack {
@@ -234,5 +237,158 @@ func TestUnsupportedOp(t *testing.T) {
 	r := core.NewRequest(core.OpRename)
 	if err := h.Run(t, s, r); err == nil {
 		t.Fatal("rename on a KVS succeeded")
+	}
+}
+
+// scanReq builds an OpScan request carrying a pushdown program ref.
+func scanReq(prefix, prog string) *core.Request {
+	r := core.NewRequest(core.OpScan)
+	r.Key = prefix
+	r.Prog = prog
+	return r
+}
+
+func TestScanPushdownFilter(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	// Records: u32 tag at offset 0; tag 1 for even indices, 2 for odd.
+	want := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		val := make([]byte, 100)
+		tag := uint32(2)
+		if i%2 == 0 {
+			tag = 1
+			want[fmt.Sprintf("r/%02d", i)] = true
+		}
+		binary.LittleEndian.PutUint32(val, tag)
+		val[4] = byte(i)
+		if err := put(t, h, s, fmt.Sprintf("r/%02d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(t, h, s, "other/x", []byte{1, 0, 0, 0}) // outside the prefix
+
+	prog, err := pushdown.Default.Register("tag1", "filter where u32@0 == 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := scanReq("r/", prog.Ref)
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	if err := pushdown.DecodeKV(r.Value, func(key string, val []byte) error {
+		if len(val) != 100 || binary.LittleEndian.Uint32(val) != 1 {
+			return fmt.Errorf("bad match %q: %d bytes tag %d", key, len(val), binary.LittleEndian.Uint32(val))
+		}
+		got[key] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("matched %v, want %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing match %q", k)
+		}
+	}
+}
+
+func TestScanPushdownAggregate(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	var wantSum uint64
+	for i := 0; i < 8; i++ {
+		val := make([]byte, 64)
+		binary.LittleEndian.PutUint32(val, uint32(i%2))
+		binary.LittleEndian.PutUint64(val[4:], uint64(i*10))
+		if i%2 == 1 {
+			wantSum += uint64(i * 10)
+		}
+		put(t, h, s, fmt.Sprintf("a/%d", i), val)
+	}
+	prog, err := pushdown.Default.Register("sum-odd", "sum u64@4 where u32@0 == 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Address by registered name: the mod resolves names too.
+	r := scanReq("a/", "sum-odd")
+	if err := h.Run(t, s, r); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(r.Result) != wantSum {
+		t.Fatalf("sum = %d, want %d", r.Result, wantSum)
+	}
+	if len(r.Value) != 0 {
+		t.Fatalf("aggregate scan emitted %d bytes", len(r.Value))
+	}
+	_ = prog
+}
+
+func TestScanPushdownUnknownProgram(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	put(t, h, s, "k", []byte{1, 2, 3, 4})
+	r := scanReq("", "pd:doesnotexist0000")
+	if err := h.Run(t, s, r); !errors.Is(err, pushdown.ErrUnknownProgram) {
+		t.Fatalf("unknown program: %v", err)
+	}
+}
+
+func TestScanPushdownBudgetTrip(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	s := mountKVS(t, h)
+	for i := 0; i < 4; i++ {
+		put(t, h, s, fmt.Sprintf("b/%d", i), make([]byte, 4096))
+	}
+	prog, err := pushdown.Default.Register("count-all", "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := scanReq("b/", prog.Ref)
+	r.ProgMaxBytes = 8192 // 4 records × 4096 B blows through this
+	if err := h.Run(t, s, r); !errors.Is(err, pushdown.ErrBudget) {
+		t.Fatalf("budget trip: %v", err)
+	}
+}
+
+func TestScanPushdownGateVertex(t *testing.T) {
+	h := modtest.New(t, device.NVMe, 64<<20)
+	// Gate with a deny-everything-but allow-list sits above the store.
+	s := h.Mount(t, "kv::/gated",
+		modtest.ChainVertex{UUID: "gate", Type: pushdown.Type, Attrs: map[string]string{
+			"allow":              "allowed-*",
+			"max_scan_mb":        "1",
+			"prog.allowed-count": "count",
+			"prog.blocked-count": "count where u32@0 == 0",
+		}},
+		modtest.ChainVertex{UUID: "kvs3", Type: labkvs.Type, Attrs: map[string]string{"device": "dev0", "log_mb": "2"}},
+		modtest.ChainVertex{UUID: "drv3", Type: driver.KernelDriverType, Attrs: map[string]string{"device": "dev0"}},
+	)
+	put(t, h, s, "g/1", []byte{0, 0, 0, 0})
+	put(t, h, s, "g/2", []byte{0, 0, 0, 0})
+
+	ok := scanReq("g/", "allowed-count")
+	if err := h.Run(t, s, ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Result != 2 {
+		t.Fatalf("gated count = %d, want 2", ok.Result)
+	}
+	if ok.ProgMaxBytes != 1<<20 {
+		t.Fatalf("gate did not clamp budget: %d", ok.ProgMaxBytes)
+	}
+
+	denied := scanReq("g/", "blocked-count")
+	if err := h.Run(t, s, denied); !errors.Is(err, pushdown.ErrDenied) {
+		t.Fatalf("gate deny: %v", err)
+	}
+
+	// Non-scan traffic passes through the gate untouched.
+	got, err := get(t, h, s, "g/1")
+	if err != nil || len(got) != 4 {
+		t.Fatalf("get through gate: %v %v", got, err)
 	}
 }

@@ -8,9 +8,11 @@
 // copied, and a hit with no caller destination hands out a retained view
 // of the page. The only remaining read-path copies are hit-into-caller-
 // buffer (the caller chose its destination) and fills from borrowed
-// client memory, which the cache may not retain. Writes always copy: the
-// payload is the client's registered buffer, and it may be rewritten the
-// moment the request completes.
+// client memory, which the cache may not retain. Writes always copy —
+// the payload is the client's registered buffer, and it may be rewritten
+// the moment the request completes — but the copy lands in a
+// handle-backed page, so later reads (and pushdown scans) of
+// write-inserted data still get zero-copy handouts.
 package lru
 
 import (
@@ -207,9 +209,12 @@ func (c *Cache) processWrite(e *core.Exec, req *core.Request) error {
 	aligned := req.Size == c.pageSize && req.Offset%int64(c.pageSize) == 0
 	if aligned {
 		copyWriteInsert.Add(req.Size)
-		cp := core.AcquireBuf(len(req.Data))
-		copy(cp, req.Data)
-		c.insertPage(&page{off: req.Offset, data: cp, dirty: c.policy == "writeback"})
+		// Handle-backed insert: the copied page can be handed out as a
+		// retained view on later Data==nil reads (get-after-put and
+		// pushdown scans over warm data are then zero-copy).
+		h := core.AcquireHandle(req.HomeNode, len(req.Data))
+		copy(h.Bytes(), req.Data)
+		c.insertPage(&page{off: req.Offset, data: h.Bytes(), h: h, dirty: c.policy == "writeback"})
 		if c.policy == "writeback" {
 			req.Result = int64(req.Size)
 			return nil // absorbed; flushed on eviction or OpBlockFlush

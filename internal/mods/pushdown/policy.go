@@ -1,0 +1,133 @@
+package pushdown
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"labstor/internal/core"
+	"labstor/internal/spec"
+)
+
+// ErrDenied rejects a program a tenant's allow-list does not cover.
+var ErrDenied = errors.New("pushdown: program not allowed for tenant")
+
+// ErrUnknownProgram rejects refs/names absent from the registry.
+var ErrUnknownProgram = errors.New("pushdown: unknown program")
+
+// Caps are per-request execution budget ceilings.
+type Caps struct {
+	MaxBytes int64
+	MaxSteps int64
+}
+
+// TenantRule is one tenant's allow-list plus budget overrides.
+type TenantRule struct {
+	Allow []string
+	Caps  Caps
+}
+
+// Policy is the pushdown policy/mechanism split's policy half (the PAIO
+// shape serve's admission control already follows): which programs each
+// tenant may run, and how much work one request may do. The mechanism —
+// budgeted evaluation inside labkvs/labfs — never sees tenants.
+type Policy struct {
+	reg     *Registry
+	defCaps Caps
+	// allow is the default allow-list for tenants without a rule.
+	// Empty = deny all (secure default).
+	allow   []string
+	tenants map[string]TenantRule
+}
+
+// NewPolicy returns a policy resolving against reg (Default when nil).
+// allow is the default allow-list; caps the default budgets (zero fields
+// fall back to the evaluator defaults).
+func NewPolicy(reg *Registry, allow []string, caps Caps) *Policy {
+	if reg == nil {
+		reg = Default
+	}
+	return &Policy{reg: reg, defCaps: caps, allow: allow, tenants: make(map[string]TenantRule)}
+}
+
+// SetTenant installs or replaces a tenant rule.
+func (p *Policy) SetTenant(name string, rule TenantRule) { p.tenants[name] = rule }
+
+// Registry returns the registry the policy resolves against.
+func (p *Policy) Registry() *Registry { return p.reg }
+
+// allowed matches a program against one allow pattern: "*" matches
+// everything, a trailing "*" prefix-matches, anything else must equal the
+// program's name or ref exactly.
+func allowed(prog *Program, pat string) bool {
+	if pat == "*" {
+		return true
+	}
+	if strings.HasSuffix(pat, "*") {
+		pfx := pat[:len(pat)-1]
+		return strings.HasPrefix(prog.Name, pfx) || strings.HasPrefix(prog.Ref, pfx)
+	}
+	return pat == prog.Name || pat == prog.Ref
+}
+
+// Admit resolves refOrName and checks tenant's allow-list ("" uses the
+// default list). On success it returns the program; callers should stamp
+// prog.Ref (the canonical address) onto the request and Clamp it.
+func (p *Policy) Admit(tenant, refOrName string) (*Program, error) {
+	prog, ok := p.reg.Lookup(refOrName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProgram, refOrName)
+	}
+	allow := p.allow
+	if rule, ok := p.tenants[tenant]; ok && tenant != "" {
+		allow = rule.Allow
+	}
+	for _, pat := range allow {
+		if allowed(prog, pat) {
+			return prog, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: tenant %q, program %q", ErrDenied, tenant, refOrName)
+}
+
+// Clamp stamps the tenant's (or default) budget caps onto the request,
+// keeping any tighter caller-provided budgets.
+func (p *Policy) Clamp(tenant string, req *core.Request) {
+	caps := p.defCaps
+	if rule, ok := p.tenants[tenant]; ok && tenant != "" {
+		if rule.Caps.MaxBytes > 0 {
+			caps.MaxBytes = rule.Caps.MaxBytes
+		}
+		if rule.Caps.MaxSteps > 0 {
+			caps.MaxSteps = rule.Caps.MaxSteps
+		}
+	}
+	if caps.MaxBytes > 0 && (req.ProgMaxBytes <= 0 || req.ProgMaxBytes > caps.MaxBytes) {
+		req.ProgMaxBytes = caps.MaxBytes
+	}
+	if caps.MaxSteps > 0 && (req.ProgMaxSteps <= 0 || req.ProgMaxSteps > caps.MaxSteps) {
+		req.ProgMaxSteps = caps.MaxSteps
+	}
+}
+
+// PolicyFromSpec registers the spec's programs into reg (Default when
+// nil) and builds the policy from its allow-lists and budgets.
+func PolicyFromSpec(ps spec.PushdownSpec, reg *Registry) (*Policy, error) {
+	if reg == nil {
+		reg = Default
+	}
+	for name, src := range ps.Programs {
+		if _, err := reg.Register(name, src); err != nil {
+			return nil, fmt.Errorf("pushdown: program %q: %w", name, err)
+		}
+	}
+	caps := Caps{MaxBytes: int64(ps.MaxScanMB) << 20, MaxSteps: ps.MaxSteps}
+	p := NewPolicy(reg, ps.Allow, caps)
+	for _, ts := range ps.Tenants {
+		p.SetTenant(ts.Name, TenantRule{
+			Allow: ts.Allow,
+			Caps:  Caps{MaxBytes: int64(ts.MaxScanMB) << 20, MaxSteps: ts.MaxSteps},
+		})
+	}
+	return p, nil
+}

@@ -1,0 +1,371 @@
+// Package pushdown implements computation pushdown (the "BPF for storage"
+// idea from PAPERS.md): small, registered user programs run directly
+// where the data lives — against in-place BufHandle views from the LRU or
+// driver — so filter/aggregate scans move results, not bytes, across the
+// stack boundary and the serve wire.
+//
+// Two program flavors share one registry, both addressed by content hash:
+//
+//   - declarative predicates compiled from a tiny mini-language
+//     ("filter where u32@0 == 7 and substr \"err\"", "sum u64@8 where ...")
+//     that covers field/offset compares, substring match and
+//     count/sum/min/max aggregation;
+//   - Go closures (RegisterFunc) for everything the mini-language cannot
+//     express. Go code has no canonical byte representation, so closures
+//     hash their registered name instead of their body.
+//
+// Execution is budgeted (bytes scanned, evaluation steps) so a runaway
+// program cannot wedge a worker; a Policy (policy.go) decides which
+// tenants may run which programs and clamps the budgets per request.
+package pushdown
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// RefPrefix starts every program ref ("pd:" + 16 hex chars of the
+// program's SHA-256 content hash).
+const RefPrefix = "pd:"
+
+type cmpOp uint8
+
+const (
+	cmpEQ cmpOp = iota
+	cmpNE
+	cmpLT
+	cmpLE
+	cmpGT
+	cmpGE
+)
+
+var cmpNames = map[string]cmpOp{
+	"==": cmpEQ, "!=": cmpNE, "<": cmpLT, "<=": cmpLE, ">": cmpGT, ">=": cmpGE,
+}
+
+// field is a fixed-width little-endian unsigned integer at a byte offset
+// inside a record.
+type field struct {
+	width int // 1, 2, 4 or 8
+	off   int64
+}
+
+type predKind uint8
+
+const (
+	predField predKind = iota
+	predSubstr
+)
+
+// pred is one compiled predicate; a program matches a record when all its
+// predicates do.
+type pred struct {
+	kind predKind
+	f    field
+	cmp  cmpOp
+	val  uint64
+	lit  []byte // substr literal
+}
+
+// aggKind selects what a matching record contributes to the result.
+type aggKind uint8
+
+const (
+	aggFilter aggKind = iota // emit the matching record
+	aggCount
+	aggSum
+	aggMin
+	aggMax
+)
+
+// Func is a registered Go-closure program: return true to match a record.
+type Func func(rec []byte) bool
+
+// Program is a compiled pushdown program.
+type Program struct {
+	// Ref is the content-hash address ("pd:<hex16>").
+	Ref string
+	// Name is the registration name (informational; Lookup accepts both).
+	Name string
+	// Src is the mini-language source, or "" for Go closures.
+	Src string
+
+	preds []pred
+	agg   aggKind
+	af    field // sum/min/max operand
+	fn    Func
+}
+
+// Aggregates reports whether the program reduces to a scalar (count/sum/
+// min/max) rather than emitting matching records.
+func (p *Program) Aggregates() bool { return p.agg != aggFilter }
+
+// needsContiguous reports whether evaluation requires the whole record in
+// one slice (closures and substring search); pure field programs can read
+// across chunk boundaries without assembling.
+func (p *Program) needsContiguous() bool {
+	if p.fn != nil {
+		return true
+	}
+	for _, pr := range p.preds {
+		if pr.kind == predSubstr {
+			return true
+		}
+	}
+	return false
+}
+
+// hashRef derives the content-hash ref for a canonical byte string.
+func hashRef(canon string) string {
+	sum := sha256.Sum256([]byte(canon))
+	return RefPrefix + hex.EncodeToString(sum[:8])
+}
+
+// Compile parses mini-language source into a Program.
+//
+// Grammar:
+//
+//	program := verb [where-clause]
+//	verb    := "filter" | "count" | ("sum"|"min"|"max") field
+//	where   := "where" pred ("and" pred)*
+//	pred    := "substr" quoted-string | field cmp number
+//	field   := ("u8"|"u16"|"u32"|"u64") "@" offset
+//	cmp     := == != < <= > >=
+//
+// Numbers are decimal or 0x-hex, compared unsigned; fields decode
+// little-endian.
+func Compile(src string) (*Program, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("pushdown: empty program")
+	}
+	p := &Program{Src: src, Ref: hashRef("src:" + src)}
+	i := 0
+	switch toks[i] {
+	case "filter":
+		p.agg = aggFilter
+		i++
+	case "count":
+		p.agg = aggCount
+		i++
+	case "sum", "min", "max":
+		switch toks[i] {
+		case "sum":
+			p.agg = aggSum
+		case "min":
+			p.agg = aggMin
+		case "max":
+			p.agg = aggMax
+		}
+		i++
+		if i >= len(toks) {
+			return nil, fmt.Errorf("pushdown: %s needs a field operand", toks[i-1])
+		}
+		f, err := parseField(toks[i])
+		if err != nil {
+			return nil, err
+		}
+		p.af = f
+		i++
+	default:
+		return nil, fmt.Errorf("pushdown: unknown verb %q (want filter/count/sum/min/max)", toks[0])
+	}
+	if i < len(toks) {
+		if toks[i] != "where" {
+			return nil, fmt.Errorf("pushdown: expected 'where', got %q", toks[i])
+		}
+		i++
+		for {
+			pr, n, err := parsePred(toks[i:])
+			if err != nil {
+				return nil, err
+			}
+			p.preds = append(p.preds, pr)
+			i += n
+			if i >= len(toks) {
+				break
+			}
+			if toks[i] != "and" {
+				return nil, fmt.Errorf("pushdown: expected 'and', got %q", toks[i])
+			}
+			i++
+			if i >= len(toks) {
+				return nil, fmt.Errorf("pushdown: dangling 'and'")
+			}
+		}
+	}
+	if p.agg == aggFilter && len(p.preds) == 0 {
+		return nil, fmt.Errorf("pushdown: filter needs a where clause")
+	}
+	return p, nil
+}
+
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("pushdown: unterminated string literal")
+			}
+			toks = append(toks, src[i:j+1])
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' && src[j] != '\r' {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func parseField(tok string) (field, error) {
+	at := strings.IndexByte(tok, '@')
+	if at < 0 {
+		return field{}, fmt.Errorf("pushdown: bad field %q (want u8|u16|u32|u64@offset)", tok)
+	}
+	var w int
+	switch tok[:at] {
+	case "u8":
+		w = 1
+	case "u16":
+		w = 2
+	case "u32":
+		w = 4
+	case "u64":
+		w = 8
+	default:
+		return field{}, fmt.Errorf("pushdown: bad field width in %q", tok)
+	}
+	off, err := strconv.ParseInt(tok[at+1:], 10, 64)
+	if err != nil || off < 0 {
+		return field{}, fmt.Errorf("pushdown: bad field offset in %q", tok)
+	}
+	return field{width: w, off: off}, nil
+}
+
+func parsePred(toks []string) (pred, int, error) {
+	if len(toks) == 0 {
+		return pred{}, 0, fmt.Errorf("pushdown: missing predicate")
+	}
+	if toks[0] == "substr" {
+		if len(toks) < 2 || len(toks[1]) < 2 || toks[1][0] != '"' {
+			return pred{}, 0, fmt.Errorf("pushdown: substr needs a quoted literal")
+		}
+		lit := toks[1][1 : len(toks[1])-1]
+		if lit == "" {
+			return pred{}, 0, fmt.Errorf("pushdown: empty substr literal")
+		}
+		return pred{kind: predSubstr, lit: []byte(lit)}, 2, nil
+	}
+	if len(toks) < 3 {
+		return pred{}, 0, fmt.Errorf("pushdown: truncated predicate %q", strings.Join(toks, " "))
+	}
+	f, err := parseField(toks[0])
+	if err != nil {
+		return pred{}, 0, err
+	}
+	cmp, ok := cmpNames[toks[1]]
+	if !ok {
+		return pred{}, 0, fmt.Errorf("pushdown: bad comparator %q", toks[1])
+	}
+	val, err := strconv.ParseUint(strings.TrimPrefix(toks[2], "0x"), numBase(toks[2]), 64)
+	if err != nil {
+		return pred{}, 0, fmt.Errorf("pushdown: bad number %q", toks[2])
+	}
+	return pred{kind: predField, f: f, cmp: cmp, val: val}, 3, nil
+}
+
+func numBase(tok string) int {
+	if strings.HasPrefix(tok, "0x") {
+		return 16
+	}
+	return 10
+}
+
+// Registry maps refs and names to compiled programs. The zero registry is
+// not usable; use NewRegistry. Default is the process-wide registry the
+// LabMods execute from.
+type Registry struct {
+	mu     sync.RWMutex
+	byRef  map[string]*Program
+	byName map[string]*Program
+}
+
+// Default is the process-wide program registry.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byRef: make(map[string]*Program), byName: make(map[string]*Program)}
+}
+
+// Register compiles src and stores it under name and its content-hash
+// ref. Re-registering the same name with different source replaces the
+// name binding (the old ref stays resolvable — content addressing).
+func (r *Registry) Register(name, src string) (*Program, error) {
+	p, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	p.Name = name
+	r.mu.Lock()
+	r.byRef[p.Ref] = p
+	if name != "" {
+		r.byName[name] = p
+	}
+	r.mu.Unlock()
+	return p, nil
+}
+
+// RegisterFunc stores a Go-closure program. Closures hash their name
+// ("func:<name>"), not their body — Go code has no canonical bytes.
+func (r *Registry) RegisterFunc(name string, fn Func) *Program {
+	p := &Program{Ref: hashRef("func:" + name), Name: name, fn: fn}
+	r.mu.Lock()
+	r.byRef[p.Ref] = p
+	if name != "" {
+		r.byName[name] = p
+	}
+	r.mu.Unlock()
+	return p
+}
+
+// Lookup resolves a ref or a registered name.
+func (r *Registry) Lookup(refOrName string) (*Program, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if p, ok := r.byRef[refOrName]; ok {
+		return p, true
+	}
+	p, ok := r.byName[refOrName]
+	return p, ok
+}
+
+// Programs returns all registered programs (unordered, deduplicated).
+func (r *Registry) Programs() []*Program {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Program, 0, len(r.byRef))
+	for _, p := range r.byRef {
+		out = append(out, p)
+	}
+	return out
+}

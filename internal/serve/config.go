@@ -1,6 +1,9 @@
 package serve
 
-import "labstor/internal/spec"
+import (
+	"labstor/internal/mods/pushdown"
+	"labstor/internal/spec"
+)
 
 // PolicyFromSpec converts one serve-block tenant entry into an admission
 // policy.
@@ -30,4 +33,20 @@ func ConfigFromSpec(sv spec.ServeSpec) Config {
 		cfg.Tenants = append(cfg.Tenants, PolicyFromSpec(ts))
 	}
 	return cfg
+}
+
+// WithPushdown builds the pushdown policy from a parsed pushdown: block
+// (registering its programs into the default registry) and attaches it to
+// the config. A spec with no programs and no allow-list attaches nothing:
+// the server keeps rejecting remote programs.
+func (c *Config) WithPushdown(ps spec.PushdownSpec) error {
+	if len(ps.Programs) == 0 && len(ps.Allow) == 0 && len(ps.Tenants) == 0 {
+		return nil
+	}
+	pol, err := pushdown.PolicyFromSpec(ps, nil)
+	if err != nil {
+		return err
+	}
+	c.Pushdown = pol
+	return nil
 }

@@ -18,6 +18,10 @@ func FuzzFrameDecode(f *testing.F) {
 		ID: 7, Tenant: "t", Mount: "kv::/b", Op: core.OpPut, Key: "k",
 		Offset: 123, Size: 16, Payload: []byte("0123456789abcdef"),
 	}))
+	f.Add(AppendReq(nil, &ReqFrame{
+		ID: 8, Tenant: "t", Mount: "kv::/b", Op: core.OpScan, Key: "pfx",
+		Prog: "pd:0011223344556677",
+	}))
 	f.Add(AppendResp(nil, &RespFrame{ID: 9, OK: true, Result: 16, Value: []byte("value")}))
 	f.Add(AppendResp(nil, &RespFrame{ID: 10, Err: "boom"}))
 	f.Add(AppendBusy(nil, &BusyFrame{ID: 3, Reason: BusyInflight, RetryNs: 50000}))
@@ -65,7 +69,8 @@ func FuzzFrameDecode(f *testing.F) {
 					}
 					if r2.ID != r.ID || r2.Tenant != r.Tenant || r2.Mount != r.Mount ||
 						r2.Op != r.Op || r2.Path != r.Path || r2.Key != r.Key ||
-						r2.Offset != r.Offset || r2.Size != r.Size || !bytes.Equal(r2.Payload, r.Payload) {
+						r2.Offset != r.Offset || r2.Size != r.Size || r2.Prog != r.Prog ||
+							!bytes.Equal(r2.Payload, r.Payload) {
 						t.Fatalf("req round trip: %+v != %+v", r2, r)
 					}
 				}

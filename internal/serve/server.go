@@ -10,6 +10,7 @@ import (
 
 	"labstor/internal/core"
 	"labstor/internal/ipc"
+	"labstor/internal/mods/pushdown"
 	"labstor/internal/runtime"
 	"labstor/internal/telemetry"
 )
@@ -35,6 +36,10 @@ type Config struct {
 	DemandPollMs int
 	// HandshakeTimeout bounds the Hello exchange (0 = 5s).
 	HandshakeTimeout time.Duration
+	// Pushdown is the program policy for Prog-carrying scan frames:
+	// per-tenant allow-lists plus byte/step budget caps. nil rejects every
+	// program (secure default — remote computation must be opted into).
+	Pushdown *pushdown.Policy
 }
 
 // Server is the TCP serving front end: it multiplexes many client
@@ -72,6 +77,7 @@ type Server struct {
 	mBusy      *telemetry.Counter
 	mReqErrs   *telemetry.Counter
 	mProtoErrs *telemetry.Counter
+	mPdDenied  *telemetry.Counter
 	gConns     *telemetry.Gauge
 	hBatch     func(float64)
 }
@@ -103,6 +109,7 @@ func New(rt *runtime.Runtime, cfg Config) *Server {
 		mBusy:      reg.Counter("serve.busy"),
 		mReqErrs:   reg.Counter("serve.req_errors"),
 		mProtoErrs: reg.Counter("serve.proto_errors"),
+		mPdDenied:  reg.Counter("serve.pushdown_denied"),
 		gConns:     reg.Gauge("serve.connections"),
 	}
 	h := reg.Histogram("serve.batch_size")
@@ -375,6 +382,30 @@ func (s *Server) readLoop(conn net.Conn, br *bufio.Reader, buf []byte, cli *runt
 			mounts[rf.Mount] = res
 		}
 
+		// Pushdown gate: a Prog-carrying frame runs a registered program
+		// server-side, so it must clear the server's policy (per-tenant
+		// allow-list) before it touches the stack. No policy = no remote
+		// computation.
+		progRef := ""
+		if rf.Prog != "" {
+			var admitErr error
+			if s.cfg.Pushdown == nil {
+				admitErr = errors.New("pushdown not enabled on this server")
+			} else if p, err := s.cfg.Pushdown.Admit(ts.policy.Name, rf.Prog); err != nil {
+				admitErr = err
+			} else {
+				progRef = p.Ref
+			}
+			if admitErr != nil {
+				s.adm.Done(ts)
+				s.mPdDenied.Inc()
+				s.mReqErrs.Inc()
+				flush()
+				writeCh <- AppendResp(nil, &RespFrame{ID: rf.ID, Err: admitErr.Error()})
+				continue
+			}
+		}
+
 		req := core.AcquireRequest(rf.Op)
 		req.Path = rf.Path
 		if req.Path == "" {
@@ -383,6 +414,10 @@ func (s *Server) readLoop(conn net.Conn, br *bufio.Reader, buf []byte, cli *runt
 		req.Key = rf.Key
 		req.Offset = rf.Offset
 		req.Size = int(rf.Size)
+		if progRef != "" {
+			req.Prog = progRef
+			s.cfg.Pushdown.Clamp(ts.policy.Name, req)
+		}
 
 		// Zero-copy hand-off: the wire payload lands in a registered arena
 		// buffer (the one socket->memory copy), and the stack operates on it

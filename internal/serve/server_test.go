@@ -13,6 +13,7 @@ import (
 	"labstor/internal/core"
 	"labstor/internal/device"
 	_ "labstor/internal/mods/allmods"
+	"labstor/internal/mods/pushdown"
 	"labstor/internal/runtime"
 )
 
@@ -339,5 +340,83 @@ func TestServeManyConnections(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatalf("connection failed: %v", err)
+	}
+}
+
+func TestServePushdownScanAndPolicy(t *testing.T) {
+	// Programs live in the process-wide Default registry — that's where
+	// the executing mods (labkvs/labfs) resolve refs; the serve policy
+	// only decides who may run them.
+	prog, err := pushdown.Default.Register("tag7", "count where u32@0 == 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := pushdown.NewPolicy(nil, []string{"tag7"}, pushdown.Caps{MaxBytes: 1 << 20})
+	pol.SetTenant("locked", pushdown.TenantRule{}) // empty allow = deny all
+	_, _, addr := newTestServer(t, Config{
+		Pushdown: pol,
+		Tenants:  []TenantPolicy{{Name: "locked", RatePerSec: 1000, Burst: 100}},
+	})
+
+	c, err := Dial(addr, "t1")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	val := make([]byte, 64)
+	val[0] = 7
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("p/%d", i)
+		if i >= 3 {
+			val[0] = 9 // non-matching tag
+		}
+		if res, err := c.Do(&ReqFrame{Op: core.OpPut, Mount: "kv::/bench", Key: key, Payload: val}); err != nil || res.Err() != nil {
+			t.Fatalf("put: %v / %v", err, res.Err())
+		}
+	}
+
+	// Scan by name over the wire; the server rewrites to the canonical ref.
+	res, err := c.Do(&ReqFrame{Op: core.OpScan, Mount: "kv::/bench", Key: "p/", Prog: "tag7"})
+	if err != nil || res.Err() != nil {
+		t.Fatalf("scan: %v / %v", err, res.Err())
+	}
+	if res.Resp.Result != 3 {
+		t.Fatalf("pushdown count over wire = %d, want 3", res.Resp.Result)
+	}
+
+	// Unknown program is rejected before touching the runtime.
+	if res, _ := c.Do(&ReqFrame{Op: core.OpScan, Mount: "kv::/bench", Key: "p/", Prog: "nope"}); res.Err() == nil {
+		t.Fatal("unknown program admitted")
+	}
+
+	// A denied tenant's scan is rejected by the per-tenant allow-list.
+	cl, err := Dial(addr, "locked")
+	if err != nil {
+		t.Fatalf("dial locked: %v", err)
+	}
+	defer cl.Close()
+	if res, _ := cl.Do(&ReqFrame{Op: core.OpScan, Mount: "kv::/bench", Key: "p/", Prog: prog.Ref}); res.Err() == nil {
+		t.Fatal("locked tenant's program admitted")
+	}
+
+	// Plain ops from the locked tenant still flow.
+	if res, err := cl.Do(&ReqFrame{Op: core.OpGet, Mount: "kv::/bench", Key: "p/0"}); err != nil || res.Err() != nil {
+		t.Fatalf("locked tenant get: %v / %v", err, res.Err())
+	}
+}
+
+func TestServePushdownDisabledRejects(t *testing.T) {
+	_, _, addr := newTestServer(t, Config{}) // no Pushdown policy
+	c, err := Dial(addr, "t1")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	res, err := c.Do(&ReqFrame{Op: core.OpScan, Mount: "kv::/bench", Key: "", Prog: "anything"})
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if res.Err() == nil || !strings.Contains(res.Err().Error(), "not enabled") {
+		t.Fatalf("program on disabled server: %v", res.Err())
 	}
 }

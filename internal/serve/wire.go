@@ -45,7 +45,9 @@ const (
 )
 
 // ProtoVersion is the current wire protocol version, carried in Hello.
-const ProtoVersion = 1
+// Version 2 added the ReqFrame Prog field (computation pushdown: a
+// program-ref so clients move results, not bytes, over the wire).
+const ProtoVersion = 2
 
 const (
 	frameMagic  = 0xAB
@@ -107,6 +109,12 @@ type ReqFrame struct {
 	Key    string // KV-interface operand (may be empty)
 	Offset int64
 	Size   int64
+	// Prog is a pushdown program reference (name or content-hash ref) for
+	// OpScan requests: the server runs the registered program where the
+	// data lives and returns only matches/aggregates, so bytes-on-wire is
+	// result-sized. Subject to the server's pushdown policy (per-tenant
+	// allow-lists + budget caps); empty means no program.
+	Prog string
 	// Payload is the write-side data. Decoded frames alias the decode
 	// buffer; the server copies it into a registered arena buffer before the
 	// decode buffer is reused.
@@ -133,7 +141,7 @@ type BusyFrame struct {
 // maxWireOp bounds the op codes accepted off the wire (everything the
 // request model defines today; unknown codes are a payload error, so a
 // future op added without bumping this is rejected loudly, not executed).
-const maxWireOp = core.OpIoctl
+const maxWireOp = core.OpScan
 
 // appendFrame wraps payload (already appended at dst[start+frameHeader:])
 // with the frame header. Callers reserve the header with reserveFrame.
@@ -179,6 +187,7 @@ func AppendReq(dst []byte, r *ReqFrame) []byte {
 	dst = appendStr(dst, r.Key)
 	dst = binary.AppendVarint(dst, r.Offset)
 	dst = binary.AppendVarint(dst, r.Size)
+	dst = appendStr(dst, r.Prog)
 	dst = appendBytes(dst, r.Payload)
 	return sealFrame(dst, start)
 }
@@ -371,6 +380,7 @@ func DecodeReq(payload []byte, r *ReqFrame) error {
 	r.Key = d.str()
 	r.Offset = d.varint()
 	r.Size = d.varint()
+	r.Prog = d.str()
 	r.Payload = d.bytes()
 	if !d.done() || op > maxWireOp {
 		*r = ReqFrame{}

@@ -243,6 +243,47 @@ type ServeSpec struct {
 	Replicas int
 }
 
+// PushdownTenantSpec is one tenant's pushdown permissions in a pushdown:
+// block.
+type PushdownTenantSpec struct {
+	Name string
+	// Allow lists program names/refs this tenant may run ("*" = all,
+	// trailing "*" = prefix match). Empty means the tenant runs nothing.
+	Allow []string
+	// MaxScanMB / MaxSteps tighten the per-request budgets for this
+	// tenant (0 = the block defaults).
+	MaxScanMB int
+	MaxSteps  int64
+}
+
+// PushdownSpec configures the computation-pushdown program registry and
+// its safety policy:
+//
+//	pushdown:
+//	  max_scan_mb: 64          # per-request byte budget cap
+//	  max_steps: 1000000       # per-request evaluation step cap
+//	  allow: ["*"]             # default allow-list (empty = deny all)
+//	  programs:
+//	    hot_errors: 'filter where substr "err"'
+//	    row_count: 'count'
+//	  tenants:
+//	    - name: analytics
+//	      allow: [row_count]
+//	      max_scan_mb: 16
+type PushdownSpec struct {
+	// Programs maps registration names to mini-language sources.
+	Programs map[string]string
+	// Allow is the default allow-list applied to tenants without an
+	// explicit entry (empty = deny all — secure default).
+	Allow []string
+	// MaxScanMB caps bytes scanned per request (0 = evaluator default).
+	MaxScanMB int
+	// MaxSteps caps evaluation steps per request (0 = evaluator default).
+	MaxSteps int64
+	// Tenants lists per-tenant allow-lists and budget overrides.
+	Tenants []PushdownTenantSpec
+}
+
 // SLOSpec is one per-stack service-level objective:
 //
 //	slo:
@@ -289,6 +330,7 @@ type RuntimeConfig struct {
 	NUMA         NUMASpec
 	Observe      ObserveSpec
 	Serve        ServeSpec
+	Pushdown     PushdownSpec
 	SLOs         []SLOSpec
 	Devices      []DeviceSpec
 	Repos        []string
@@ -398,6 +440,37 @@ func ParseRuntimeConfig(src string) (*RuntimeConfig, error) {
 		cfg.Serve.Replicas = sv.Int("replicas", cfg.Serve.Replicas)
 		if len(cfg.Serve.Shards) > 0 && cfg.Serve.Addr == "" {
 			return nil, fmt.Errorf("spec: serve.shards requires serve.addr (the router listen address)")
+		}
+	}
+	if pd := root.Get("pushdown"); pd != nil {
+		cfg.Pushdown.Programs = pd.StringMap("programs")
+		cfg.Pushdown.Allow = pd.Strings("allow")
+		cfg.Pushdown.MaxScanMB = pd.Int("max_scan_mb", cfg.Pushdown.MaxScanMB)
+		cfg.Pushdown.MaxSteps = pd.Int64("max_steps", cfg.Pushdown.MaxSteps)
+		if cfg.Pushdown.MaxScanMB < 0 || cfg.Pushdown.MaxSteps < 0 {
+			return nil, fmt.Errorf("spec: pushdown budgets must be >= 0")
+		}
+		if tns := pd.Get("tenants"); tns != nil && tns.IsList() {
+			seen := make(map[string]bool)
+			for i, tn := range tns.List() {
+				ts := PushdownTenantSpec{
+					Name:      tn.Str("name", ""),
+					Allow:     tn.Strings("allow"),
+					MaxScanMB: tn.Int("max_scan_mb", 0),
+					MaxSteps:  tn.Int64("max_steps", 0),
+				}
+				if ts.Name == "" {
+					return nil, fmt.Errorf("spec: pushdown.tenants[%d] is missing 'name'", i)
+				}
+				if seen[ts.Name] {
+					return nil, fmt.Errorf("spec: duplicate pushdown tenant %q", ts.Name)
+				}
+				if ts.MaxScanMB < 0 || ts.MaxSteps < 0 {
+					return nil, fmt.Errorf("spec: pushdown tenant %q has a negative budget", ts.Name)
+				}
+				seen[ts.Name] = true
+				cfg.Pushdown.Tenants = append(cfg.Pushdown.Tenants, ts)
+			}
 		}
 	}
 	if slos := root.Get("slo"); slos != nil && slos.IsList() {

@@ -84,6 +84,10 @@ type CostModel struct {
 	DAXAccessSetup Duration
 	// CompressPerByte is the compression LabMod per-byte cost.
 	CompressPerByte float64
+	// PushdownPerByte is the per-byte cost of evaluating a pushdown
+	// program over in-place data (predicate compare + field decode; no
+	// copy — emission pays CopyPerByte separately).
+	PushdownPerByte float64
 
 	// --- Kernel filesystem (ext4/XFS/F2FS style) stages -----------------------
 
@@ -195,6 +199,7 @@ func Default() *CostModel {
 		SPDKSubmit:         250 * Nanosecond,
 		DAXAccessSetup:     150 * Nanosecond,
 		CompressPerByte:    0.6, // ≈1.6 GB/s single-stream deflate
+		PushdownPerByte:    0.2, // ≈5 GB/s predicate scan over cached data
 
 		KFSJournalCommit: 9000 * Nanosecond,
 		KFSDirLockHold:   6500 * Nanosecond,
@@ -219,4 +224,13 @@ func (c *CostModel) Compress(n int) Duration {
 		return 0
 	}
 	return Duration(float64(n) * c.CompressPerByte)
+}
+
+// Pushdown returns the modeled time to evaluate a pushdown program over n
+// bytes of in-place data.
+func (c *CostModel) Pushdown(n int) Duration {
+	if n <= 0 {
+		return 0
+	}
+	return Duration(float64(n) * c.PushdownPerByte)
 }

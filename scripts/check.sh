@@ -6,8 +6,9 @@
 #   4. hot-path soak: the lock-free ring and worker/client hot path, twice
 #      under the race detector with shuffled test order, to surface
 #      ordering-dependent races the single straight-line pass can miss.
-#   5. fuzz smoke: a short native-fuzzing run of the wire-protocol frame
-#      decoder (serve.* RPC framing) to catch parser regressions early.
+#   5. fuzz smoke: short native-fuzzing runs of the wire-protocol frame
+#      decoder (serve.* RPC framing) and the YAML spec/stack builder to
+#      catch parser regressions early.
 #   6. observe smoke: boot labstor-runtime with the observability server on
 #      an ephemeral port and assert /metrics and /snapshot serve payloads.
 #   7. serve smoke: boot labstor-runtime with the network front end on an
@@ -30,14 +31,17 @@ go vet ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
-echo "== go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/... ./internal/telemetry/... ./internal/obs/... ./internal/serve/... =="
-go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/... ./internal/telemetry/... ./internal/obs/... ./internal/serve/...
+echo "== go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/... ./internal/telemetry/... ./internal/obs/... ./internal/serve/... ./internal/mods/pushdown/... =="
+go test -race -count=2 -shuffle=on ./internal/ipc/... ./internal/runtime/... ./internal/device/... ./internal/telemetry/... ./internal/obs/... ./internal/serve/... ./internal/mods/pushdown/...
 
 echo "== bench smoke: go test -bench=. -benchtime=1x -run '^$' ./... =="
 go test -bench=. -benchtime=1x -run '^$' ./...
 
 echo "== fuzz smoke: FuzzFrameDecode -fuzztime 5s =="
 go test -run '^$' -fuzz FuzzFrameDecode -fuzztime 5s ./internal/serve
+
+echo "== fuzz smoke: FuzzSpecParse -fuzztime 5s =="
+go test -run '^$' -fuzz FuzzSpecParse -fuzztime 5s ./internal/spec
 
 echo "== observe smoke: scripts/obs_smoke.sh =="
 sh scripts/obs_smoke.sh
